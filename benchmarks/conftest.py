@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the paper's tables and figures on the scaled-down
+synthetic suite.  They are wall-clock benchmarks of this library's
+implementations (via pytest-benchmark) whose *payloads* are the modelled-time
+artefacts of the paper; each benchmark also attaches the reproduced numbers
+to ``benchmark.extra_info`` so the shape comparison against the paper can be
+read straight from the benchmark report.
+
+Environment knobs:
+
+``REPRO_BENCH_PROFILE``
+    Instance-size profile (default ``small``); use ``tiny`` for smoke runs
+    and ``medium`` for a closer look at the scaling behaviour.
+``REPRO_BENCH_INSTANCES``
+    Comma-separated subset of instance names (default: the full 28).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import SuiteRunner
+
+BENCH_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "small")
+_instances_env = os.environ.get("REPRO_BENCH_INSTANCES", "").strip()
+BENCH_INSTANCES = tuple(s for s in _instances_env.split(",") if s) or None
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20130421"))
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """Table-I style results (G-PR, G-HKDW, P-DBFS, PR) over the suite, computed once."""
+    runner = SuiteRunner(profile=BENCH_PROFILE, seed=BENCH_SEED, instances=BENCH_INSTANCES)
+    return runner.run()

@@ -1,0 +1,41 @@
+"""Figure 4: individual G-PR speedups over sequential PR, per instance.
+
+Paper reference: speedups range from 0.31 (hugetrace-00000) to 12.60
+(delaunay_n24), averaging 3.05, with a slowdown on 5 of the 28 graphs.  The
+reproduced shape: a wide spread with wins on the majority of instances, the
+trace/bubbles family at the bottom of the ranking, and an average above 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reports import build_figure4
+from repro.generators.suite import SUITE_SPECS
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_individual_speedups(benchmark, suite_results):
+    def build():
+        return build_figure4(suite_results)
+
+    rows, average = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["speedups"] = {name: round(s, 3) for _, name, s in rows}
+    benchmark.extra_info["average_speedup"] = round(average, 3)
+    paper = {spec.name: spec.paper.speedup_gpr_vs_pr for spec in SUITE_SPECS}
+    benchmark.extra_info["paper_speedups"] = {
+        name: round(paper[name], 3) for _, name, _ in rows if name in paper
+    }
+
+    assert len(rows) == len(suite_results)
+    speedups = {name: s for _, name, s in rows}
+    # G-PR wins on the majority of the instances and on average.
+    assert sum(1 for s in speedups.values() if s > 1.0) > len(speedups) / 2
+    assert average > 1.0
+    # The trace/bubbles family sits in the losing tail, as in the paper.
+    losers = {name for name, s in speedups.items() if s < 1.0}
+    trace_family = {
+        spec.name for spec in SUITE_SPECS if spec.family in ("trace", "bubbles")
+    } & set(speedups)
+    if trace_family:
+        assert trace_family & losers or min(speedups[n] for n in trace_family) < average

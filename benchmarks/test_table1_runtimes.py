@@ -1,0 +1,54 @@
+"""Table I: per-instance runtimes of G-PR, G-HKDW, P-DBFS and PR + geometric means.
+
+Paper reference (geometric means of the runtimes over the 28 instances):
+G-PR 0.70 s, G-HKDW 0.92 s, P-DBFS 1.99 s, PR 2.15 s — i.e. G-PR is the
+fastest overall, about 1.3× ahead of G-HKDW and about 3× ahead of PR and
+P-DBFS.  The reproduced shape to check: the ordering of the geometric means
+(G-PR fastest, sequential PR and P-DBFS slowest) on the scaled suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_INSTANCES, BENCH_PROFILE, BENCH_SEED
+from repro.bench.harness import SuiteRunner
+from repro.bench.reports import build_table1, render_table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_full_suite(benchmark):
+    """Regenerate Table I; the benchmark measures one full-suite harness pass."""
+    runner = SuiteRunner(profile=BENCH_PROFILE, seed=BENCH_SEED, instances=BENCH_INSTANCES)
+
+    def regenerate():
+        return build_table1(runner.run())
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    geomeans = table["geomeans"]
+    benchmark.extra_info["geomean_modeled_seconds"] = {
+        name: round(value, 6) for name, value in geomeans.items()
+    }
+    benchmark.extra_info["rendered"] = render_table(table)
+    # Shape assertions mirroring the paper's bottom row.
+    assert geomeans["G-PR"] < geomeans["PR"], "G-PR must beat sequential PR on geometric mean"
+    assert geomeans["G-PR"] < geomeans["P-DBFS"], "G-PR must beat P-DBFS on geometric mean"
+    # Every algorithm found a maximum matching of the same cardinality per instance.
+    for row in table["rows"]:
+        assert row["MM"] >= row["IM"]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_cardinalities_agree(benchmark, suite_results):
+    """All four algorithms agree on the maximum matching cardinality of every instance."""
+
+    def check():
+        mismatches = []
+        for res in suite_results:
+            cards = {name: run.cardinality for name, run in res.runs.items()}
+            if len(set(cards.values())) != 1:
+                mismatches.append((res.spec.name, cards))
+        return mismatches
+
+    mismatches = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert mismatches == []

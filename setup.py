@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline build environment used for this reproduction has no ``wheel``
+package, so PEP-517 editable installs (which build a wheel) fail.  Keeping a
+``setup.py`` allows ``pip install -e . --no-build-isolation --no-use-pep517``
+and ``python setup.py develop`` to work without network access.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

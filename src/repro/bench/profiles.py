@@ -1,0 +1,69 @@
+"""Speedup and performance profiles (Figures 2 and 3 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["speedup_profile", "performance_profile"]
+
+
+def speedup_profile(
+    speedups: dict[str, list[float]],
+    xs: np.ndarray | None = None,
+) -> dict[str, list[tuple[float, float]]]:
+    """Figure 2: for each algorithm, the curve ``y = P(speedup ≥ x)``.
+
+    Parameters
+    ----------
+    speedups:
+        Mapping algorithm → per-instance speedups w.r.t. the sequential
+        baseline.
+    xs:
+        Speedup thresholds; defaults to the paper's x axis (0 to 10).
+
+    Returns
+    -------
+    dict
+        Algorithm → list of ``(x, y)`` points.
+    """
+    if xs is None:
+        xs = np.linspace(0.0, 10.0, 41)
+    curves: dict[str, list[tuple[float, float]]] = {}
+    for name, values in speedups.items():
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError(f"no speedups for algorithm {name!r}")
+        curves[name] = [(float(x), float(np.mean(arr >= x))) for x in xs]
+    return curves
+
+
+def performance_profile(
+    times: dict[str, list[float]],
+    xs: np.ndarray | None = None,
+) -> dict[str, list[tuple[float, float]]]:
+    """Figure 3: for each algorithm, ``y = P(time ≤ x × best time on that instance)``.
+
+    Parameters
+    ----------
+    times:
+        Mapping algorithm → per-instance times; every algorithm must cover
+        the same instances in the same order.
+    xs:
+        Ratio thresholds; defaults to the paper's x axis (1 to 5).
+    """
+    if xs is None:
+        xs = np.linspace(1.0, 5.0, 17)
+    names = list(times)
+    if not names:
+        raise ValueError("no algorithms given")
+    matrix = np.asarray([times[name] for name in names], dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise ValueError("each algorithm needs at least one time and equal instance counts")
+    if np.any(matrix <= 0):
+        raise ValueError("times must be positive")
+    best = matrix.min(axis=0)
+    ratios = matrix / best
+    return {
+        name: [(float(x), float(np.mean(ratios[i] <= x))) for x in xs]
+        for i, name in enumerate(names)
+    }

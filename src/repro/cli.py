@@ -1,0 +1,144 @@
+"""Command-line interface.
+
+Examples
+--------
+Run one algorithm on one suite instance::
+
+    python -m repro.cli run --graph roadNet-PA --algorithm g-pr --profile small
+
+Regenerate Table I (modelled milliseconds) over the whole suite::
+
+    python -m repro.cli table1 --profile small
+
+Regenerate the figures (printed as data series)::
+
+    python -m repro.cli figures --figure 2
+
+Match an external Matrix-Market file::
+
+    python -m repro.cli run --mtx /path/to/matrix.mtx --algorithm g-pr
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.harness import SuiteRunner, modeled_seconds_for
+from repro.bench.reports import build_figure1, build_figure2, build_figure3, build_figure4, build_table1, render_table
+from repro.core.api import ALGORITHMS, max_bipartite_matching
+from repro.generators.suite import generate_instance, instance_names
+from repro.graph.io import read_matrix_market
+
+__all__ = ["main"]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.mtx:
+        graph = read_matrix_market(args.mtx)
+    else:
+        graph = generate_instance(args.graph, profile=args.profile, seed=args.seed)
+    result = max_bipartite_matching(graph, algorithm=args.algorithm)
+    payload = {
+        "graph": graph.name,
+        "n_rows": graph.n_rows,
+        "n_cols": graph.n_cols,
+        "n_edges": graph.n_edges,
+        "algorithm": result.algorithm,
+        "cardinality": result.cardinality,
+        "modeled_seconds": modeled_seconds_for(result),
+        "wall_seconds": result.wall_time,
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("suite instances:")
+    for name in instance_names():
+        print(f"  {name}")
+    print("algorithms:")
+    for name in sorted(ALGORITHMS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    runner = SuiteRunner(profile=args.profile, seed=args.seed,
+                         instances=args.instances or None)
+    table = build_table1(runner.run())
+    print(render_table(table))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if args.figure == 1:
+        cells = build_figure1(profile=args.profile, seed=args.seed,
+                              instances=args.instances or None)
+        for cell in cells:
+            print(f"{cell.variant:<12} {cell.strategy:<14} {cell.geomean_seconds * 1e3:8.3f} ms")
+        return 0
+    runner = SuiteRunner(profile=args.profile, seed=args.seed, instances=args.instances or None)
+    results = runner.run()
+    if args.figure == 2:
+        curves = build_figure2(results)
+        for name, points in curves.items():
+            series = " ".join(f"({x:.2f},{y:.2f})" for x, y in points)
+            print(f"{name}: {series}")
+    elif args.figure == 3:
+        curves = build_figure3(results)
+        for name, points in curves.items():
+            series = " ".join(f"({x:.2f},{y:.2f})" for x, y in points)
+            print(f"{name}: {series}")
+    elif args.figure == 4:
+        rows, average = build_figure4(results)
+        for instance_id, name, speedup in rows:
+            print(f"{instance_id:>3} {name:<22} {speedup:6.2f}")
+        print(f"average speedup: {average:.2f}")
+    else:
+        print(f"unknown figure {args.figure}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(prog="repro-matching", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm on one graph")
+    run.add_argument("--graph", default="amazon0505", help="suite instance name or id")
+    run.add_argument("--mtx", default=None, help="path to a Matrix-Market file (overrides --graph)")
+    run.add_argument("--algorithm", default="g-pr", choices=sorted(ALGORITHMS))
+    run.add_argument("--profile", default="small")
+    run.add_argument("--seed", type=int, default=20130421)
+    run.set_defaults(func=_cmd_run)
+
+    lst = sub.add_parser("list", help="list suite instances and algorithms")
+    lst.set_defaults(func=_cmd_list)
+
+    table = sub.add_parser("table1", help="regenerate Table I")
+    table.add_argument("--profile", default="small")
+    table.add_argument("--seed", type=int, default=20130421)
+    table.add_argument("--instances", nargs="*", default=None)
+    table.set_defaults(func=_cmd_table1)
+
+    figures = sub.add_parser("figures", help="regenerate Figures 1-4")
+    figures.add_argument("--figure", type=int, required=True, choices=(1, 2, 3, 4))
+    figures.add_argument("--profile", default="small")
+    figures.add_argument("--seed", type=int, default=20130421)
+    figures.add_argument("--instances", nargs="*", default=None)
+    figures.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Unified public API over every matching algorithm in the library."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.ghkdw import ghkdw_matching
+from repro.core.gpr import GPRConfig, GPRVariant, gpr_matching
+from repro.graph.bipartite import BipartiteGraph
+from repro.gpusim.device import VirtualGPU
+from repro.matching import Matching, MatchingResult
+from repro.multicore.pdbfs import PDBFSConfig, pdbfs_matching
+from repro.seq.greedy import cheap_matching, karp_sipser_matching
+from repro.seq.hopcroft_karp import hkdw_matching, hopcroft_karp_matching
+from repro.seq.pothen_fan import pothen_fan_matching
+from repro.seq.push_relabel import PushRelabelConfig, push_relabel_matching
+
+__all__ = ["ALGORITHMS", "max_bipartite_matching"]
+
+
+def _gpr_variant(variant: GPRVariant) -> Callable[..., MatchingResult]:
+    def run(graph, initial=None, *, config: GPRConfig | None = None, device: VirtualGPU | None = None, **kwargs):
+        if config is None:
+            config = GPRConfig(variant=variant, **kwargs)
+        return gpr_matching(graph, initial=initial, config=config, device=device)
+
+    return run
+
+
+def _pr(graph, initial=None, *, config: PushRelabelConfig | None = None, **kwargs):
+    if config is None and kwargs:
+        config = PushRelabelConfig(**kwargs)
+    return push_relabel_matching(graph, initial=initial, config=config)
+
+
+def _pdbfs(graph, initial=None, *, config: PDBFSConfig | None = None, **kwargs):
+    if config is None and kwargs:
+        config = PDBFSConfig(**kwargs)
+    return pdbfs_matching(graph, initial=initial, config=config)
+
+
+#: Registry of algorithm name → callable.  Keys are the names accepted by
+#: :func:`max_bipartite_matching` and by the CLI / benchmark harness.
+ALGORITHMS: dict[str, Callable[..., MatchingResult]] = {
+    # the paper's contribution (three variants; "g-pr" is the final configuration)
+    "g-pr": _gpr_variant(GPRVariant.SHRINK),
+    "g-pr-first": _gpr_variant(GPRVariant.FIRST),
+    "g-pr-noshrink": _gpr_variant(GPRVariant.NO_SHRINK),
+    "g-pr-shrink": _gpr_variant(GPRVariant.SHRINK),
+    # GPU comparator
+    "g-hkdw": lambda graph, initial=None, *, device=None, **kw: ghkdw_matching(
+        graph, initial=initial, device=device, **kw
+    ),
+    # multicore comparator
+    "p-dbfs": _pdbfs,
+    # sequential baselines
+    "pr": _pr,
+    "hk": lambda graph, initial=None, **kw: hopcroft_karp_matching(graph, initial=initial),
+    "hkdw": lambda graph, initial=None, **kw: hkdw_matching(graph, initial=initial),
+    "pfp": lambda graph, initial=None, **kw: pothen_fan_matching(graph, initial=initial),
+    # greedy heuristics (not maximum; exposed for initialisation studies)
+    "cheap": lambda graph, initial=None, **kw: cheap_matching(graph, **kw),
+    "karp-sipser": lambda graph, initial=None, **kw: karp_sipser_matching(graph, **kw),
+}
+
+#: Algorithms guaranteed to return a *maximum* matching.
+MAXIMUM_ALGORITHMS = (
+    "g-pr",
+    "g-pr-first",
+    "g-pr-noshrink",
+    "g-pr-shrink",
+    "g-hkdw",
+    "p-dbfs",
+    "pr",
+    "hk",
+    "hkdw",
+    "pfp",
+)
+
+
+def max_bipartite_matching(
+    graph: BipartiteGraph,
+    algorithm: str = "g-pr",
+    initial: Matching | None = None,
+    **kwargs,
+) -> MatchingResult:
+    """Compute a matching of ``graph`` with the selected algorithm.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph.
+    algorithm:
+        One of :data:`ALGORITHMS` (case-insensitive).  ``"g-pr"`` — the
+        paper's final configuration (active list + shrinking, adaptive 0.7
+        global relabeling) — is the default.  All entries except ``"cheap"``
+        and ``"karp-sipser"`` return a maximum cardinality matching.
+    initial:
+        Optional starting matching; by default every algorithm starts from
+        the cheap greedy matching, as in the paper's experiments.
+    **kwargs:
+        Forwarded to the algorithm (e.g. ``config=GPRConfig(...)`` or
+        ``device=VirtualGPU(...)`` for the GPU algorithms,
+        ``config=PushRelabelConfig(...)`` for the sequential PR).
+
+    Returns
+    -------
+    MatchingResult
+
+    Raises
+    ------
+    ValueError
+        For an unknown algorithm name.
+
+    Examples
+    --------
+    >>> from repro.generators import uniform_random_bipartite
+    >>> g = uniform_random_bipartite(500, 500, avg_degree=4, seed=0)
+    >>> gpu = max_bipartite_matching(g, "g-pr")
+    >>> cpu = max_bipartite_matching(g, "pr")
+    >>> gpu.cardinality == cpu.cardinality
+    True
+    """
+    key = algorithm.strip().lower()
+    if key not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; available: {', '.join(sorted(ALGORITHMS))}"
+        )
+    return ALGORITHMS[key](graph, initial, **kwargs)

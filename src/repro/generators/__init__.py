@@ -1,0 +1,53 @@
+"""Synthetic bipartite-graph workload generators.
+
+The paper evaluates on 28 matrices from the UFL (SuiteSparse) collection,
+covering several structural families: road networks, Delaunay meshes,
+Kronecker (R-MAT) graphs, power-law web / social graphs, co-purchase /
+citation graphs and very large thin "trace / bubbles" meshes.  Those
+instances are far too large to ship or to solve in pure Python, so this
+package generates *scaled-down synthetic analogs* of each family and a
+28-instance suite (:mod:`repro.generators.suite`) that mirrors the paper's
+Table I line-up one to one.
+
+Every generator is deterministic given a seed and returns a
+:class:`~repro.graph.bipartite.BipartiteGraph`.
+"""
+
+from repro.generators.mesh import (
+    delaunay_like_graph,
+    grid_graph,
+    road_network_graph,
+)
+from repro.generators.powerlaw import chung_lu_bipartite, power_law_web_graph
+from repro.generators.random_bipartite import (
+    perfect_matching_plus_noise,
+    uniform_random_bipartite,
+)
+from repro.generators.rmat import kronecker_graph, rmat_bipartite
+from repro.generators.suite import (
+    SUITE_SPECS,
+    SuiteInstance,
+    generate_instance,
+    generate_suite,
+    instance_names,
+)
+from repro.generators.trace import bubbles_graph, trace_graph
+
+__all__ = [
+    "uniform_random_bipartite",
+    "perfect_matching_plus_noise",
+    "rmat_bipartite",
+    "kronecker_graph",
+    "chung_lu_bipartite",
+    "power_law_web_graph",
+    "grid_graph",
+    "road_network_graph",
+    "delaunay_like_graph",
+    "trace_graph",
+    "bubbles_graph",
+    "SUITE_SPECS",
+    "SuiteInstance",
+    "generate_suite",
+    "generate_instance",
+    "instance_names",
+]

@@ -1,0 +1,117 @@
+"""Mesh-like bipartite graphs: grids, road networks and Delaunay triangulations.
+
+These are analogs of the ``roadNet-*``, ``italy_osm`` and ``delaunay_n*``
+instances.  Structurally they are (near-)planar graphs with small bounded
+degree, turned into bipartite graphs through the rows-vs-columns view of
+their symmetric adjacency matrix — exactly how the paper builds bipartite
+graphs from square UFL matrices.
+
+Their matching behaviour is what matters for the reproduction: low degree
+and large diameter mean the last few augmenting paths are very long, so the
+GPU push-relabel algorithm needs many kernel launches with only a handful of
+active columns and can lose to the sequential code (the paper's worst cases,
+``hugetrace-00000`` and ``italy_osm``, are in this family).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builders import from_edges
+
+__all__ = ["grid_graph", "road_network_graph", "delaunay_like_graph"]
+
+
+def _symmetric_edges(pairs: np.ndarray) -> np.ndarray:
+    """Return the union of (i, j) and (j, i) pairs — the symmetric adjacency pattern."""
+    return np.concatenate([pairs, pairs[:, ::-1]], axis=0)
+
+
+def grid_graph(
+    width: int,
+    height: int,
+    diagonal: bool = False,
+    name: str = "grid",
+) -> BipartiteGraph:
+    """A ``width x height`` 2-D grid as a square bipartite graph.
+
+    Vertex ``(x, y)`` has index ``y * width + x``; edges connect 4-neighbours
+    (and the down-right diagonal when ``diagonal`` is set, which produces a
+    triangulated grid — the cheapest Delaunay-like structure).
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("grid dimensions must be positive")
+    n = width * height
+    idx = np.arange(n, dtype=np.int64)
+    x = idx % width
+    y = idx // width
+    pairs = []
+    right = idx[x < width - 1]
+    pairs.append(np.column_stack([right, right + 1]))
+    down = idx[y < height - 1]
+    pairs.append(np.column_stack([down, down + width]))
+    if diagonal:
+        diag = idx[(x < width - 1) & (y < height - 1)]
+        pairs.append(np.column_stack([diag, diag + width + 1]))
+    edges = _symmetric_edges(np.concatenate(pairs, axis=0))
+    # Include the diagonal of the adjacency matrix? Road/mesh matrices in the
+    # UFL collection typically have an empty diagonal; we follow that.
+    return from_edges(edges, n_rows=n, n_cols=n, name=name)
+
+
+def road_network_graph(
+    n_target: int,
+    removal_fraction: float = 0.12,
+    seed: int | None = None,
+    name: str = "road",
+) -> BipartiteGraph:
+    """Road-network analog: a sparse subgraph of a 2-D grid with dead ends.
+
+    Starting from a near-square grid of about ``n_target`` intersections, a
+    fraction of the edges is removed at random.  The removals create
+    degree-1 dead ends and slightly imbalanced local structure, which leaves
+    the maximum matching a few percent below perfect — mirroring
+    ``roadNet-PA/TX/CA`` in Table I (MM ≈ 0.97 n).
+    """
+    if n_target <= 0:
+        raise ValueError("n_target must be positive")
+    if not 0 <= removal_fraction < 1:
+        raise ValueError("removal_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    width = max(2, int(round(np.sqrt(n_target))))
+    height = max(2, (n_target + width - 1) // width)
+    grid = grid_graph(width, height, diagonal=False, name=name)
+    edges = grid.edges()  # (row, col) pairs, symmetric
+    # Work on the undirected pairs (row < col) so removals stay symmetric.
+    undirected = edges[edges[:, 0] < edges[:, 1]]
+    keep_mask = rng.random(len(undirected)) >= removal_fraction
+    kept = undirected[keep_mask]
+    sym = _symmetric_edges(kept)
+    return from_edges(sym, n_rows=grid.n_rows, n_cols=grid.n_cols, name=name)
+
+
+def delaunay_like_graph(
+    n_points: int,
+    seed: int | None = None,
+    name: str = "delaunay",
+) -> BipartiteGraph:
+    """Delaunay triangulation of random points in the unit square.
+
+    Analog of the ``delaunay_n20..n24`` instances: planar, average degree
+    about 6, and (empirically, as in the paper's Table I) admits a perfect
+    matching.  Uses :class:`scipy.spatial.Delaunay`.
+    """
+    if n_points < 3:
+        raise ValueError("a Delaunay triangulation needs at least 3 points")
+    from scipy.spatial import Delaunay
+
+    rng = np.random.default_rng(seed)
+    points = rng.random((n_points, 2))
+    tri = Delaunay(points)
+    simplices = tri.simplices.astype(np.int64)
+    pairs = np.concatenate(
+        [simplices[:, [0, 1]], simplices[:, [1, 2]], simplices[:, [0, 2]]], axis=0
+    )
+    edges = _symmetric_edges(pairs)
+    return from_edges(edges, n_rows=n_points, n_cols=n_points, name=name)

@@ -1,0 +1,77 @@
+"""Uniform random bipartite graphs (Erdős–Rényi style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builders import from_edges
+
+__all__ = ["uniform_random_bipartite", "perfect_matching_plus_noise"]
+
+
+def uniform_random_bipartite(
+    n_rows: int,
+    n_cols: int,
+    avg_degree: float = 4.0,
+    seed: int | None = None,
+    name: str = "uniform",
+) -> BipartiteGraph:
+    """Sample edges uniformly at random.
+
+    ``avg_degree`` is the expected column degree; approximately
+    ``n_cols * avg_degree`` distinct edges are produced (duplicates from the
+    sampling are merged, so the realised count is slightly lower on dense
+    settings).
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Vertex counts of the two sides.
+    avg_degree:
+        Expected neighbours per column vertex.
+    seed:
+        Seed for :class:`numpy.random.Generator`; identical seeds give
+        identical graphs.
+    """
+    if n_rows <= 0 or n_cols <= 0:
+        raise ValueError("uniform_random_bipartite needs at least one vertex on each side")
+    if avg_degree < 0:
+        raise ValueError("avg_degree must be non-negative")
+    rng = np.random.default_rng(seed)
+    n_edges = int(round(n_cols * avg_degree))
+    n_edges = min(n_edges, n_rows * n_cols)
+    rows = rng.integers(0, n_rows, size=n_edges, dtype=np.int64)
+    cols = rng.integers(0, n_cols, size=n_edges, dtype=np.int64)
+    return from_edges(np.column_stack([rows, cols]), n_rows=n_rows, n_cols=n_cols, name=name)
+
+
+def perfect_matching_plus_noise(
+    n: int,
+    extra_degree: float = 3.0,
+    seed: int | None = None,
+    name: str = "pm-noise",
+) -> BipartiteGraph:
+    """A square graph that is guaranteed to admit a perfect matching.
+
+    The graph contains the diagonal edges ``(i, i)`` (a hidden perfect
+    matching) plus ``n * extra_degree`` uniformly random edges.  Useful for
+    tests that need a known maximum-matching cardinality and for the
+    Delaunay/trace analogs whose originals have ``MM = n``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed)
+    diag = np.column_stack([np.arange(n, dtype=np.int64), np.arange(n, dtype=np.int64)])
+    n_extra = int(round(n * extra_degree))
+    extra = np.column_stack(
+        [
+            rng.integers(0, n, size=n_extra, dtype=np.int64),
+            rng.integers(0, n, size=n_extra, dtype=np.int64),
+        ]
+    )
+    # Shuffle the hidden matching so it is not simply the identity permutation.
+    perm = rng.permutation(n)
+    diag[:, 1] = perm[diag[:, 1]]
+    edges = np.concatenate([diag, extra], axis=0)
+    return from_edges(edges, n_rows=n, n_cols=n, name=name)

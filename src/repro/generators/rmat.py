@@ -1,0 +1,72 @@
+"""R-MAT / Kronecker bipartite graph generator.
+
+The ``kron_g500-logn20`` and ``kron_g500-logn21`` instances of the paper are
+Graph500 Kronecker graphs.  Their defining feature for bipartite matching is
+a heavily skewed degree distribution with a large fraction of isolated or
+low-degree vertices, which makes the maximum matching much smaller than the
+vertex count (Table I: MM ≈ 0.49 n for logn20).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builders import from_edges
+
+__all__ = ["rmat_bipartite", "kronecker_graph"]
+
+
+def rmat_bipartite(
+    scale: int,
+    edge_factor: float = 16.0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | None = None,
+    name: str = "rmat",
+) -> BipartiteGraph:
+    """Generate a ``2**scale x 2**scale`` R-MAT graph.
+
+    Each edge is placed by recursively descending ``scale`` levels of a 2x2
+    partition of the adjacency matrix with probabilities ``(a, b, c, d)``
+    where ``d = 1 - a - b - c``.  The Graph500 parameters (0.57, 0.19, 0.19,
+    0.05) are the defaults, matching the ``kron_g500`` family.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the number of vertices per side.
+    edge_factor:
+        Average number of edges per vertex (before deduplication).
+    """
+    if scale < 1 or scale > 24:
+        raise ValueError("scale must be between 1 and 24")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("R-MAT probabilities must be non-negative and sum to at most 1")
+    n = 1 << scale
+    n_edges = int(round(n * edge_factor))
+    rng = np.random.default_rng(seed)
+
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    # Vectorised recursive descent: one random draw per (edge, level).
+    thresholds = np.array([a, a + b, a + b + c])
+    for level in range(scale):
+        draws = rng.random(n_edges)
+        quadrant = np.searchsorted(thresholds, draws)
+        bit = 1 << (scale - level - 1)
+        rows += np.where(quadrant >= 2, bit, 0)
+        cols += np.where((quadrant == 1) | (quadrant == 3), bit, 0)
+    return from_edges(np.column_stack([rows, cols]), n_rows=n, n_cols=n, name=name)
+
+
+def kronecker_graph(
+    scale: int,
+    edge_factor: float = 16.0,
+    seed: int | None = None,
+    name: str = "kronecker",
+) -> BipartiteGraph:
+    """Graph500-flavoured Kronecker graph (R-MAT with the Graph500 parameters)."""
+    return rmat_bipartite(scale, edge_factor=edge_factor, seed=seed, name=name)

@@ -1,0 +1,283 @@
+"""The 28-instance evaluation suite.
+
+One synthetic analog per instance of the paper's Table I, in the same order
+(increasing number of rows).  Each entry records the metadata of the original
+UFL matrix — size, edge count, cardinality of the cheap initial matching (IM)
+and of the maximum matching (MM), and the runtimes the paper reports for
+G-PR, G-HKDW, P-DBFS and the sequential PR — so the benchmark harness can
+compare the *shape* of its results (who wins, by roughly how much) against
+the published numbers.
+
+Scaling.  The analogs shrink every instance to a size a pure-Python
+simulation can handle while keeping (a) the structural family, (b) the
+relative ordering of the instances by size and (c) the qualitative IM/MM
+behaviour.  ``SCALE_PROFILES`` defines the base size; instance ``i`` gets
+``base * (paper_rows_i / paper_rows_min) ** 0.4`` vertices per side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.generators.mesh import delaunay_like_graph, road_network_graph
+from repro.generators.powerlaw import chung_lu_bipartite, power_law_web_graph
+from repro.generators.random_bipartite import (
+    perfect_matching_plus_noise,
+    uniform_random_bipartite,
+)
+from repro.generators.rmat import rmat_bipartite
+from repro.generators.trace import bubbles_graph, trace_graph
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builders import from_edges
+
+__all__ = [
+    "PaperRecord",
+    "SuiteInstance",
+    "SUITE_SPECS",
+    "SCALE_PROFILES",
+    "generate_instance",
+    "generate_suite",
+    "instance_names",
+]
+
+
+@dataclass(frozen=True)
+class PaperRecord:
+    """Numbers the paper reports for one Table-I instance."""
+
+    rows: int
+    cols: int
+    edges: int
+    initial_matching: int
+    maximum_matching: int
+    time_gpr: float
+    time_ghkdw: float
+    time_pdbfs: float
+    time_pr: float
+
+    @property
+    def speedup_gpr_vs_pr(self) -> float:
+        """The paper's G-PR speedup over sequential PR (Figure 4)."""
+        return self.time_pr / self.time_gpr
+
+
+@dataclass(frozen=True)
+class SuiteInstance:
+    """One instance of the evaluation suite: a named generator plus paper metadata."""
+
+    instance_id: int
+    name: str
+    family: str
+    paper: PaperRecord
+    _factory: Callable[[int, int], BipartiteGraph]
+
+    def generate(self, n_target: int, seed: int) -> BipartiteGraph:
+        """Generate the scaled analog with roughly ``n_target`` rows."""
+        graph = self._factory(n_target, seed)
+        return graph.with_name(self.name)
+
+
+#: Base number of rows for the *smallest* suite instance under each profile.
+SCALE_PROFILES: dict[str, int] = {
+    "tiny": 220,
+    "small": 900,
+    "medium": 2600,
+    "large": 8000,
+}
+
+_SIZE_EXPONENT = 0.4
+
+
+def _rectangular_tall(n_target: int, seed: int, col_excess: float, avg_degree: float) -> BipartiteGraph:
+    """GL7d19-like rectangular graph: slightly more columns than rows, row-perfect matching."""
+    rng = np.random.default_rng(seed)
+    n_rows = n_target
+    n_cols = int(round(n_target * col_excess))
+    diag_rows = np.arange(n_rows, dtype=np.int64)
+    diag_cols = rng.permutation(n_cols)[:n_rows].astype(np.int64)
+    n_extra = int(round(n_rows * avg_degree))
+    extra = np.column_stack(
+        [
+            rng.integers(0, n_rows, size=n_extra, dtype=np.int64),
+            rng.integers(0, n_cols, size=n_extra, dtype=np.int64),
+        ]
+    )
+    edges = np.concatenate([np.column_stack([diag_rows, diag_cols]), extra], axis=0)
+    return from_edges(edges, n_rows=n_rows, n_cols=n_cols, name="rectangular")
+
+
+def _spec(
+    instance_id: int,
+    name: str,
+    family: str,
+    paper: PaperRecord,
+    factory: Callable[[int, int], BipartiteGraph],
+) -> SuiteInstance:
+    return SuiteInstance(instance_id=instance_id, name=name, family=family, paper=paper, _factory=factory)
+
+
+# ----------------------------------------------------------------------------
+# Table I of the paper, verbatim (sizes, IM, MM, runtimes in seconds).
+# ----------------------------------------------------------------------------
+_T = PaperRecord
+SUITE_SPECS: tuple[SuiteInstance, ...] = (
+    _spec(1, "amazon0505", "co-purchase",
+          _T(410_236, 410_236, 3_356_824, 332_972, 395_397, 0.09, 0.18, 22.70, 0.52),
+          lambda n, s: chung_lu_bipartite(n, n, avg_degree=8.0, exponent=2.4, seed=s)),
+    _spec(2, "coPapersDBLP", "co-author",
+          _T(540_486, 540_486, 15_245_729, 510_992, 540_226, 0.62, 0.42, 6.27, 0.59),
+          lambda n, s: power_law_web_graph(n, avg_degree=14.0, exponent=2.3,
+                                           community_fraction=0.5, seed=s)),
+    _spec(3, "amazon-2008", "co-purchase",
+          _T(735_323, 735_323, 5_158_388, 587_877, 641_379, 0.12, 0.11, 0.18, 0.93),
+          lambda n, s: chung_lu_bipartite(n, n, avg_degree=7.0, exponent=2.4, seed=s)),
+    _spec(4, "flickr", "social",
+          _T(820_878, 820_878, 9_837_214, 285_241, 367_147, 0.13, 0.22, 0.35, 0.99),
+          lambda n, s: chung_lu_bipartite(n, n, avg_degree=12.0, exponent=1.9, seed=s)),
+    _spec(5, "eu-2005", "web",
+          _T(862_664, 862_664, 19_235_140, 642_027, 652_328, 0.40, 1.54, 0.94, 0.80),
+          lambda n, s: power_law_web_graph(n, avg_degree=16.0, exponent=2.1,
+                                           community_fraction=0.4, seed=s)),
+    _spec(6, "delaunay_n20", "delaunay",
+          _T(1_048_576, 1_048_576, 3_145_686, 993_174, 1_048_576, 0.06, 0.04, 0.09, 0.32),
+          lambda n, s: delaunay_like_graph(n, seed=s)),
+    _spec(7, "kron_g500-logn20", "kronecker",
+          _T(1_048_576, 1_048_576, 44_620_272, 431_854, 513_334, 0.38, 0.60, 8.19, 1.24),
+          lambda n, s: rmat_bipartite(max(6, int(np.ceil(np.log2(max(n, 2))))),
+                                      edge_factor=16.0, seed=s)),
+    _spec(8, "roadNet-PA", "road",
+          _T(1_090_920, 1_090_920, 1_541_898, 916_444, 1_059_398, 0.33, 0.14, 0.29, 0.59),
+          lambda n, s: road_network_graph(n, removal_fraction=0.30, seed=s)),
+    _spec(9, "in-2004", "web",
+          _T(1_382_908, 1_382_908, 16_917_053, 781_063, 804_245, 0.58, 1.44, 2.16, 0.56),
+          lambda n, s: power_law_web_graph(n, avg_degree=12.0, exponent=2.0,
+                                           community_fraction=0.35, seed=s)),
+    _spec(10, "roadNet-TX", "road",
+          _T(1_393_383, 1_393_383, 1_921_660, 1_158_420, 1_342_440, 0.45, 0.14, 0.33, 0.69),
+          lambda n, s: road_network_graph(n, removal_fraction=0.28, seed=s)),
+    _spec(11, "Hamrle3", "circuit",
+          _T(1_447_360, 1_447_360, 5_514_242, 1_211_049, 1_447_360, 0.94, 1.36, 2.70, 0.56),
+          lambda n, s: perfect_matching_plus_noise(n, extra_degree=3.0, seed=s)),
+    _spec(12, "as-Skitter", "internet",
+          _T(1_696_415, 1_696_415, 11_095_298, 891_280, 1_035_521, 0.34, 0.49, 1.89, 1.13),
+          lambda n, s: chung_lu_bipartite(n, n, avg_degree=7.0, exponent=1.9, seed=s)),
+    _spec(13, "GL7d19", "combinatorial",
+          _T(1_911_130, 1_955_309, 37_322_725, 1_904_144, 1_911_130, 0.24, 0.58, 0.38, 1.38),
+          lambda n, s: _rectangular_tall(n, s, col_excess=1.023, avg_degree=19.0)),
+    _spec(14, "roadNet-CA", "road",
+          _T(1_971_281, 1_971_281, 2_766_607, 1_668_268, 1_913_589, 0.68, 0.34, 0.53, 1.55),
+          lambda n, s: road_network_graph(n, removal_fraction=0.30, seed=s)),
+    _spec(15, "delaunay_n21", "delaunay",
+          _T(2_097_152, 2_097_152, 6_291_408, 1_987_326, 2_097_152, 0.18, 0.13, 0.21, 1.06),
+          lambda n, s: delaunay_like_graph(n, seed=s)),
+    _spec(16, "kron_g500-logn21", "kronecker",
+          _T(2_097_152, 2_097_152, 91_042_010, 812_883, 964_679, 0.68, 0.99, 1.50, 2.77),
+          lambda n, s: rmat_bipartite(max(6, int(np.ceil(np.log2(max(n, 2))))),
+                                      edge_factor=22.0, seed=s)),
+    _spec(17, "wikipedia-20070206", "web",
+          _T(3_566_907, 3_566_907, 45_030_389, 1_623_931, 1_992_408, 0.62, 1.09, 5.24, 3.11),
+          lambda n, s: chung_lu_bipartite(n, n, avg_degree=12.0, exponent=2.0, seed=s)),
+    _spec(18, "patents", "citation",
+          _T(3_774_768, 3_774_768, 14_970_767, 1_892_820, 2_011_083, 0.54, 0.88, 0.84, 3.65),
+          lambda n, s: chung_lu_bipartite(n, n, avg_degree=4.0, exponent=2.6, seed=s)),
+    _spec(19, "com-livejournal", "social",
+          _T(3_997_962, 3_997_962, 34_681_189, 2_577_642, 3_608_272, 2.08, 4.58, 22.46, 9.67),
+          lambda n, s: chung_lu_bipartite(n, n, avg_degree=9.0, exponent=2.2, seed=s)),
+    _spec(20, "hugetrace-00000", "trace",
+          _T(4_588_484, 4_588_484, 6_879_133, 4_581_148, 4_588_484, 2.71, 1.96, 0.83, 0.84),
+          lambda n, s: trace_graph(n, strip_height=3, defect_fraction=0.02, seed=s)),
+    _spec(21, "soc-LiveJournal1", "social",
+          _T(4_847_571, 4_847_571, 68_993_773, 2_831_783, 3_835_002, 1.35, 3.32, 14.35, 12.66),
+          lambda n, s: chung_lu_bipartite(n, n, avg_degree=14.0, exponent=2.1, seed=s)),
+    _spec(22, "ljournal-2008", "social",
+          _T(5_363_260, 5_363_260, 79_023_142, 3_941_073, 4_355_699, 1.54, 2.37, 10.30, 10.01),
+          lambda n, s: chung_lu_bipartite(n, n, avg_degree=15.0, exponent=2.2, seed=s)),
+    _spec(23, "italy_osm", "road",
+          _T(6_686_493, 6_686_493, 7_013_978, 6_438_492, 6_644_390, 5.46, 5.86, 1.20, 6.84),
+          lambda n, s: road_network_graph(n, removal_fraction=0.45, seed=s)),
+    _spec(24, "delaunay_n23", "delaunay",
+          _T(8_388_608, 8_388_608, 25_165_784, 7_950_070, 8_388_608, 0.81, 0.96, 1.26, 8.86),
+          lambda n, s: delaunay_like_graph(n, seed=s)),
+    _spec(25, "wb-edu", "web",
+          _T(9_845_725, 9_845_725, 57_156_537, 4_810_825, 5_000_334, 2.00, 33.82, 8.61, 3.94),
+          lambda n, s: power_law_web_graph(n, avg_degree=6.0, exponent=1.9,
+                                           community_fraction=0.25, seed=s)),
+    _spec(26, "hugetrace-00020", "trace",
+          _T(16_002_413, 16_002_413, 23_998_813, 15_535_760, 16_002_413, 14.19, 7.90, 393.13, 28.69),
+          lambda n, s: trace_graph(n, strip_height=3, defect_fraction=0.015, seed=s)),
+    _spec(27, "delaunay_n24", "delaunay",
+          _T(16_777_216, 16_777_216, 50_331_601, 15_892_194, 16_777_216, 1.83, 1.98, 2.41, 23.01),
+          lambda n, s: delaunay_like_graph(n, seed=s)),
+    _spec(28, "hugebubbles-00000", "bubbles",
+          _T(18_318_143, 18_318_143, 27_470_081, 18_303_614, 18_318_143, 13.65, 13.16, 3.55, 13.51),
+          lambda n, s: bubbles_graph(n, n_bubbles=6, defect_fraction=0.01, seed=s)),
+)
+
+_MIN_PAPER_ROWS = min(spec.paper.rows for spec in SUITE_SPECS)
+
+
+def instance_names() -> list[str]:
+    """Names of the 28 suite instances in Table-I order."""
+    return [spec.name for spec in SUITE_SPECS]
+
+
+def _target_rows(spec: SuiteInstance, base: int) -> int:
+    factor = (spec.paper.rows / _MIN_PAPER_ROWS) ** _SIZE_EXPONENT
+    return max(16, int(round(base * factor)))
+
+
+def generate_instance(
+    name_or_id: str | int,
+    profile: str = "small",
+    seed: int = 20130421,
+    scale: float = 1.0,
+) -> BipartiteGraph:
+    """Generate one suite instance by name or Table-I id.
+
+    Parameters
+    ----------
+    name_or_id:
+        Either the instance name (e.g. ``"roadNet-PA"``) or its 1-based
+        Table-I id.
+    profile:
+        One of :data:`SCALE_PROFILES` (``tiny``, ``small``, ``medium``,
+        ``large``).
+    seed:
+        Base seed; the instance id is mixed in so every instance differs.
+    scale:
+        Extra multiplier on the profile's base size.
+    """
+    spec = _lookup(name_or_id)
+    if profile not in SCALE_PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; choose from {sorted(SCALE_PROFILES)}")
+    base = int(round(SCALE_PROFILES[profile] * scale))
+    n_target = _target_rows(spec, base)
+    return spec.generate(n_target, seed=seed + 1000 * spec.instance_id)
+
+
+def generate_suite(
+    profile: str = "small",
+    seed: int = 20130421,
+    scale: float = 1.0,
+    families: tuple[str, ...] | None = None,
+) -> Iterator[tuple[SuiteInstance, BipartiteGraph]]:
+    """Yield ``(spec, graph)`` pairs for the whole suite (optionally filtered by family)."""
+    for spec in SUITE_SPECS:
+        if families is not None and spec.family not in families:
+            continue
+        yield spec, generate_instance(spec.instance_id, profile=profile, seed=seed, scale=scale)
+
+
+def _lookup(name_or_id: str | int) -> SuiteInstance:
+    if isinstance(name_or_id, (int, np.integer)):
+        for spec in SUITE_SPECS:
+            if spec.instance_id == int(name_or_id):
+                return spec
+        raise KeyError(f"no suite instance with id {name_or_id}")
+    for spec in SUITE_SPECS:
+        if spec.name == name_or_id:
+            return spec
+    raise KeyError(f"no suite instance named {name_or_id!r}")

@@ -1,0 +1,51 @@
+"""Virtual SIMT device — the substitute for the paper's NVIDIA Tesla C2050.
+
+The original system runs CUDA kernels on a physical GPU.  Nothing in the
+paper's algorithmic contribution depends on real hardware: what matters is
+
+1. the *data-parallel execution semantics* — many logical threads execute the
+   same kernel body, reads may observe stale values written by other threads
+   of the same launch, conflicting writes are resolved arbitrarily (lock- and
+   atomic-free), and the algorithm must tolerate any such interleaving; and
+2. the *cost structure* — a fixed kernel-launch overhead, massive throughput
+   when many threads are resident, and serialisation when a kernel has only a
+   handful of threads or a single very long-running thread (divergence).
+
+This package provides both:
+
+* :class:`~repro.gpusim.device.DeviceSpec` /
+  :class:`~repro.gpusim.device.VirtualGPU` — the device description (SM
+  count, cores, clock, launch overhead) and a handle that owns device arrays
+  and the cost ledger;
+* :class:`~repro.gpusim.arrays.DeviceArray` — host/device transfer tracking;
+* :mod:`~repro.gpusim.kernel` — the two execution engines: ``lockstep``
+  (vectorised: all reads see the launch-time snapshot, conflicting writes are
+  resolved last-writer-wins) and ``serialized`` (a per-thread reference
+  interpreter that executes threads one at a time on live data, optionally in
+  a permuted order).  Both are legal interleavings of a lock-free CUDA
+  launch; the test-suite checks the algorithms produce maximum matchings
+  under either engine.
+* :mod:`~repro.gpusim.costmodel` — converts per-launch work vectors into
+  modelled seconds;
+* :mod:`~repro.gpusim.primitives` — device-style prefix-sum / reduction used
+  by the shrink kernel, with their own cost accounting.
+"""
+
+from repro.gpusim.arrays import DeviceArray
+from repro.gpusim.costmodel import CostLedger, GpuCostModel, KernelStats
+from repro.gpusim.device import DeviceSpec, VirtualGPU
+from repro.gpusim.kernel import launch_serialized
+from repro.gpusim.primitives import device_exclusive_scan, device_reduce_max, device_reduce_sum
+
+__all__ = [
+    "DeviceSpec",
+    "VirtualGPU",
+    "DeviceArray",
+    "GpuCostModel",
+    "CostLedger",
+    "KernelStats",
+    "launch_serialized",
+    "device_exclusive_scan",
+    "device_reduce_sum",
+    "device_reduce_max",
+]

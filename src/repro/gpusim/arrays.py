@@ -1,0 +1,59 @@
+"""Device array wrapper.
+
+A :class:`DeviceArray` is a thin, named wrapper around a NumPy array.  It
+exists to make the host/device boundary explicit in the algorithm code (what
+the CUDA implementation would keep in GPU global memory) and to let
+:class:`~repro.gpusim.device.VirtualGPU` account transfer costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DeviceArray"]
+
+
+class DeviceArray:
+    """A named array resident on the virtual device."""
+
+    __slots__ = ("data", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "array") -> None:
+        self.data = np.asarray(data)
+        self.name = name
+
+    # Convenience pass-throughs so kernels can treat it mostly like ndarray.
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, item):
+        return self.data[item]
+
+    def __setitem__(self, item, value) -> None:
+        self.data[item] = value
+
+    def fill(self, value) -> None:
+        self.data.fill(value)
+
+    def copy(self) -> "DeviceArray":
+        return DeviceArray(self.data.copy(), name=self.name)
+
+    def __array__(self, dtype=None, copy=None):
+        if dtype is not None:
+            return self.data.astype(dtype)
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeviceArray(name={self.name!r}, shape={self.data.shape}, dtype={self.data.dtype})"

@@ -1,0 +1,57 @@
+"""Device-style parallel primitives with cost accounting.
+
+The shrink kernel of the paper (G-PR-SHRKRNL, §III-C2) compacts the active
+column list with a count pass, a parallel prefix sum over the per-thread
+counts, and a scatter pass into each thread's private output region.  These
+helpers provide the prefix sum / reductions together with the work vector a
+work-efficient GPU implementation (Blelloch scan) would incur, so the cost
+model charges the compaction realistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["device_exclusive_scan", "device_reduce_sum", "device_reduce_max"]
+
+
+def _scan_work(n: int) -> np.ndarray:
+    """Per-thread work of a work-efficient exclusive scan over ``n`` items.
+
+    A Blelloch scan performs an up-sweep and a down-sweep; the total work is
+    O(n) (about two operations per element amortised over the log2(n)
+    passes), so each logical thread is charged a constant.
+    """
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    return np.full(n, 2.0, dtype=np.float64)
+
+
+def device_exclusive_scan(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Exclusive prefix sum.
+
+    Returns
+    -------
+    (scan, thread_work)
+        ``scan[i] = sum(values[:i])`` and a per-thread work vector for the
+        cost ledger.
+    """
+    values = np.asarray(values)
+    scan = np.zeros(len(values), dtype=values.dtype if values.dtype.kind in "iu" else np.int64)
+    if len(values):
+        np.cumsum(values[:-1], out=scan[1:])
+    return scan, _scan_work(len(values))
+
+
+def device_reduce_sum(values: np.ndarray) -> tuple[float, np.ndarray]:
+    """Parallel sum reduction; returns the value and the per-thread work vector."""
+    values = np.asarray(values)
+    total = float(values.sum()) if len(values) else 0.0
+    return total, _scan_work(len(values)) / 2.0 if len(values) else np.zeros(0)
+
+
+def device_reduce_max(values: np.ndarray) -> tuple[float, np.ndarray]:
+    """Parallel max reduction; returns the value and the per-thread work vector."""
+    values = np.asarray(values)
+    peak = float(values.max()) if len(values) else 0.0
+    return peak, _scan_work(len(values)) / 2.0 if len(values) else np.zeros(0)

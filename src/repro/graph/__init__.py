@@ -1,0 +1,51 @@
+"""Bipartite graph substrate.
+
+The matching algorithms in :mod:`repro` operate on a compressed sparse row
+(CSR) representation of a bipartite graph, mirroring the data layout used by
+the original CUDA implementation (the paper uses the matrix view of a
+bipartite graph: rows ``VR`` and columns ``VC``).
+
+Public classes / functions
+--------------------------
+:class:`BipartiteGraph`
+    Immutable CSR bipartite graph with both column->row and row->column
+    adjacency.
+:func:`from_edges`, :func:`from_scipy_sparse`, :func:`from_networkx`,
+:func:`from_dense`
+    Builders.
+:func:`read_matrix_market`, :func:`write_matrix_market`
+    Matrix-Market I/O (the format of the UFL / SuiteSparse collection used in
+    the paper's evaluation).
+:func:`degree_statistics`, :func:`structure_summary`
+    Descriptive statistics used by the benchmark reports.
+:func:`validate_graph`
+    Structural validation with informative errors.
+"""
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builders import (
+    from_biadjacency,
+    from_dense,
+    from_edges,
+    from_networkx,
+    from_scipy_sparse,
+)
+from repro.graph.io import read_matrix_market, write_matrix_market
+from repro.graph.stats import GraphSummary, degree_statistics, structure_summary
+from repro.graph.validate import GraphValidationError, validate_graph
+
+__all__ = [
+    "BipartiteGraph",
+    "from_edges",
+    "from_dense",
+    "from_scipy_sparse",
+    "from_networkx",
+    "from_biadjacency",
+    "read_matrix_market",
+    "write_matrix_market",
+    "degree_statistics",
+    "structure_summary",
+    "GraphSummary",
+    "validate_graph",
+    "GraphValidationError",
+]

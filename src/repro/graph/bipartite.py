@@ -1,0 +1,208 @@
+"""CSR bipartite graph container.
+
+The paper works with bipartite graphs ``G = (VR ∪ VC, E)`` where ``VR`` is the
+set of *rows* and ``VC`` the set of *columns* of a sparse matrix.  Both the
+push-relabel kernels (which iterate over the neighbourhood ``Γ(v)`` of an
+active column ``v``) and the global-relabeling BFS (which iterates over the
+neighbourhood ``Γ(u)`` of a row ``u``) need fast adjacency access, so the
+graph stores two CSR structures: columns→rows and rows→columns.
+
+All index arrays use ``numpy.int64``.  The structure is immutable once built;
+algorithms never modify it, they only allocate their own label / matching
+arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BipartiteGraph"]
+
+
+def _as_int64(a) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D index array, got shape {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class BipartiteGraph:
+    """An immutable bipartite graph in dual-CSR form.
+
+    Attributes
+    ----------
+    n_rows:
+        Number of row vertices (``m`` in the paper, the size of ``VR``).
+    n_cols:
+        Number of column vertices (``n`` in the paper, the size of ``VC``).
+    col_ptr, col_ind:
+        CSR adjacency of columns: the rows adjacent to column ``v`` are
+        ``col_ind[col_ptr[v]:col_ptr[v + 1]]``.
+    row_ptr, row_ind:
+        CSR adjacency of rows: the columns adjacent to row ``u`` are
+        ``row_ind[row_ptr[u]:row_ptr[u + 1]]``.
+
+    Notes
+    -----
+    Use the builders in :mod:`repro.graph.builders` rather than constructing
+    the arrays by hand; they deduplicate edges, sort adjacency lists and build
+    the transposed CSR.
+    """
+
+    n_rows: int
+    n_cols: int
+    col_ptr: np.ndarray
+    col_ind: np.ndarray
+    row_ptr: np.ndarray
+    row_ind: np.ndarray
+    name: str = field(default="bipartite", compare=False)
+
+    # ------------------------------------------------------------------ init
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "col_ptr", _as_int64(self.col_ptr))
+        object.__setattr__(self, "col_ind", _as_int64(self.col_ind))
+        object.__setattr__(self, "row_ptr", _as_int64(self.row_ptr))
+        object.__setattr__(self, "row_ind", _as_int64(self.row_ind))
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise ValueError("vertex counts must be non-negative")
+        if len(self.col_ptr) != self.n_cols + 1:
+            raise ValueError(
+                f"col_ptr must have n_cols+1={self.n_cols + 1} entries, got {len(self.col_ptr)}"
+            )
+        if len(self.row_ptr) != self.n_rows + 1:
+            raise ValueError(
+                f"row_ptr must have n_rows+1={self.n_rows + 1} entries, got {len(self.row_ptr)}"
+            )
+        if self.col_ptr[0] != 0 or self.row_ptr[0] != 0:
+            raise ValueError("CSR pointer arrays must start at 0")
+        if self.col_ptr[-1] != len(self.col_ind):
+            raise ValueError("col_ptr[-1] must equal len(col_ind)")
+        if self.row_ptr[-1] != len(self.row_ind):
+            raise ValueError("row_ptr[-1] must equal len(row_ind)")
+        if len(self.col_ind) != len(self.row_ind):
+            raise ValueError("column and row CSR structures must have the same edge count")
+        # Make the arrays read-only so accidental in-place edits by an
+        # algorithm fail loudly instead of corrupting shared state.
+        for arr in (self.col_ptr, self.col_ind, self.row_ptr, self.row_ind):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_edges(self) -> int:
+        """Number of (deduplicated) edges, ``τ`` in the paper."""
+        return int(len(self.col_ind))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_cols)`` — matches the shape of the biadjacency matrix."""
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def n_vertices(self) -> int:
+        """Total vertex count ``m + n``."""
+        return self.n_rows + self.n_cols
+
+    @property
+    def infinity_label(self) -> int:
+        """The label used by the paper to mark unreachable vertices, ``m + n``."""
+        return self.n_rows + self.n_cols
+
+    # ------------------------------------------------------------- accessors
+    def column_neighbors(self, v: int) -> np.ndarray:
+        """Rows adjacent to column ``v`` (the paper's ``Γ(v)`` for ``v ∈ VC``)."""
+        if not 0 <= v < self.n_cols:
+            raise IndexError(f"column index {v} out of range [0, {self.n_cols})")
+        return self.col_ind[self.col_ptr[v] : self.col_ptr[v + 1]]
+
+    def row_neighbors(self, u: int) -> np.ndarray:
+        """Columns adjacent to row ``u`` (the paper's ``Γ(u)`` for ``u ∈ VR``)."""
+        if not 0 <= u < self.n_rows:
+            raise IndexError(f"row index {u} out of range [0, {self.n_rows})")
+        return self.row_ind[self.row_ptr[u] : self.row_ptr[u + 1]]
+
+    def column_degrees(self) -> np.ndarray:
+        """Degree of every column vertex."""
+        return np.diff(self.col_ptr)
+
+    def row_degrees(self) -> np.ndarray:
+        """Degree of every row vertex."""
+        return np.diff(self.row_ptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether row ``u`` and column ``v`` are adjacent.
+
+        Adjacency lists are kept sorted by the builders, so this is a binary
+        search over the smaller of the two lists.
+        """
+        rows = self.column_neighbors(v)
+        cols = self.row_neighbors(u)
+        if len(rows) <= len(cols):
+            idx = np.searchsorted(rows, u)
+            return bool(idx < len(rows) and rows[idx] == u)
+        idx = np.searchsorted(cols, v)
+        return bool(idx < len(cols) and cols[idx] == v)
+
+    def edges(self) -> np.ndarray:
+        """All edges as an ``(n_edges, 2)`` array of ``(row, col)`` pairs."""
+        cols = np.repeat(np.arange(self.n_cols, dtype=np.int64), self.column_degrees())
+        return np.column_stack([self.col_ind, cols])
+
+    def transpose(self) -> "BipartiteGraph":
+        """The graph with the roles of rows and columns swapped."""
+        return BipartiteGraph(
+            n_rows=self.n_cols,
+            n_cols=self.n_rows,
+            col_ptr=self.row_ptr,
+            col_ind=self.row_ind,
+            row_ptr=self.col_ptr,
+            row_ind=self.col_ind,
+            name=f"{self.name}^T",
+        )
+
+    def with_name(self, name: str) -> "BipartiteGraph":
+        """A copy of this graph (sharing arrays) under a different name."""
+        return BipartiteGraph(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            col_ptr=self.col_ptr,
+            col_ind=self.col_ind,
+            row_ptr=self.row_ptr,
+            row_ind=self.row_ind,
+            name=name,
+        )
+
+    # ---------------------------------------------------------------- export
+    def to_scipy_sparse(self):
+        """Biadjacency matrix as a ``scipy.sparse.csc_matrix`` of shape (n_rows, n_cols)."""
+        from scipy import sparse
+
+        data = np.ones(self.n_edges, dtype=np.int8)
+        return sparse.csc_matrix(
+            (data, self.col_ind.copy(), self.col_ptr.copy()),
+            shape=(self.n_rows, self.n_cols),
+        )
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` with ``bipartite`` node attributes.
+
+        Row vertex ``u`` becomes node ``("r", u)`` and column vertex ``v``
+        becomes node ``("c", v)`` so the two sides never collide.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from((("r", int(u)) for u in range(self.n_rows)), bipartite=0)
+        g.add_nodes_from((("c", int(v)) for v in range(self.n_cols)), bipartite=1)
+        for u, v in self.edges():
+            g.add_edge(("r", int(u)), ("c", int(v)))
+        return g
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BipartiteGraph(name={self.name!r}, n_rows={self.n_rows}, "
+            f"n_cols={self.n_cols}, n_edges={self.n_edges})"
+        )

@@ -1,0 +1,5 @@
+"""Multicore substrate: the simulated 8-thread machine and the P-DBFS baseline."""
+
+from repro.multicore.pdbfs import PDBFSConfig, pdbfs_matching
+
+__all__ = ["pdbfs_matching", "PDBFSConfig"]

@@ -1,0 +1,41 @@
+"""Sequential matching algorithms — the baselines of the paper's evaluation.
+
+* :func:`cheap_matching` / :func:`karp_sipser_matching` — the greedy
+  initialisation heuristics used by every algorithm in the paper (§IV: "A
+  standard heuristic called the cheap matching is used to initialize all
+  tested algorithms").
+* :func:`push_relabel_matching` — the sequential FIFO push-relabel algorithm
+  **PR** (Algorithm 1) with global relabeling (Algorithm 2) and gap
+  relabeling, the paper's sequential reference.
+* :func:`hopcroft_karp_matching` / :func:`hkdw_matching` — the augmenting
+  path baselines HK and HKDW.
+* :func:`pothen_fan_matching` — the DFS+lookahead algorithm PFP used for the
+  "harder than one second" instance filter in §IV.
+* :func:`is_valid_matching`, :func:`is_maximum_matching`,
+  :func:`maximum_matching_cardinality` — verification utilities.
+"""
+
+from repro.seq.greedy import cheap_matching, karp_sipser_matching
+from repro.seq.hopcroft_karp import hkdw_matching, hopcroft_karp_matching
+from repro.seq.pothen_fan import pothen_fan_matching
+from repro.seq.push_relabel import PushRelabelConfig, push_relabel_matching
+from repro.seq.verify import (
+    is_maximal_matching,
+    is_maximum_matching,
+    is_valid_matching,
+    maximum_matching_cardinality,
+)
+
+__all__ = [
+    "cheap_matching",
+    "karp_sipser_matching",
+    "push_relabel_matching",
+    "PushRelabelConfig",
+    "hopcroft_karp_matching",
+    "hkdw_matching",
+    "pothen_fan_matching",
+    "is_valid_matching",
+    "is_maximal_matching",
+    "is_maximum_matching",
+    "maximum_matching_cardinality",
+]

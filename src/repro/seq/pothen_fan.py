@@ -1,0 +1,121 @@
+"""Pothen–Fan (PFP) augmenting-path matching with lookahead.
+
+PFP performs, for every unmatched column, a DFS that first tries the
+*lookahead*: scanning the column's adjacency for a directly unmatched row
+before descending.  A phase visits all unmatched columns; phases repeat until
+one makes no progress.  This is the third sequential algorithm used in §IV of
+the paper to filter out instances every sequential code solves in under a
+second ("Pothen-Fan-Plus").
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching import UNMATCHED, Matching, MatchingResult
+from repro.seq.greedy import cheap_matching
+
+__all__ = ["pothen_fan_matching"]
+
+
+def pothen_fan_matching(graph: BipartiteGraph, initial: Matching | None = None) -> MatchingResult:
+    """Maximum cardinality matching with the Pothen–Fan algorithm (with lookahead)."""
+    t0 = time.perf_counter()
+    if initial is None:
+        matching = cheap_matching(graph).matching
+    else:
+        matching = initial.copy().canonical()
+    row_match, col_match = matching.row_match, matching.col_match
+    counters = {"edges_scanned": 0, "phases": 0, "augmentations": 0, "lookahead_hits": 0}
+
+    col_ptr, col_ind = graph.col_ptr, graph.col_ind
+    # Lookahead pointer: next adjacency offset to inspect for a free row, per column.
+    lookahead = col_ptr[:-1].astype(np.int64).copy()
+
+    n_rows = graph.n_rows
+
+    def _augment_from(start: int, visited_round: np.ndarray, round_id: int) -> bool:
+        """Iterative DFS with lookahead from unmatched column ``start``."""
+        stack: list[list[int]] = [[start, int(col_ptr[start])]]
+        path_rows: list[int] = []
+        while stack:
+            v, idx = stack[-1]
+            stop = int(col_ptr[v + 1])
+            # Lookahead: scan for an immediately free row first.
+            found_free = -1
+            la = int(lookahead[v])
+            while la < stop:
+                u = int(col_ind[la])
+                la += 1
+                counters["edges_scanned"] += 1
+                if row_match[u] == UNMATCHED:
+                    found_free = u
+                    break
+            lookahead[v] = la
+            if found_free >= 0:
+                counters["lookahead_hits"] += 1
+                u = found_free
+                row_match[u] = v
+                col_match[v] = u
+                for depth in range(len(stack) - 2, -1, -1):
+                    prev_col = stack[depth][0]
+                    prev_row = path_rows[depth]
+                    row_match[prev_row] = prev_col
+                    col_match[prev_col] = prev_row
+                return True
+            # Regular DFS descent over matched rows not yet visited this round.
+            advanced = False
+            while idx < stop:
+                u = int(col_ind[idx])
+                idx += 1
+                counters["edges_scanned"] += 1
+                if visited_round[u] == round_id:
+                    continue
+                w = int(row_match[u])
+                if w == UNMATCHED:
+                    # The lookahead pointer already passed this row in an earlier
+                    # call; treat it as a direct augmentation anyway.
+                    visited_round[u] = round_id
+                    row_match[u] = v
+                    col_match[v] = u
+                    for depth in range(len(stack) - 2, -1, -1):
+                        prev_col = stack[depth][0]
+                        prev_row = path_rows[depth]
+                        row_match[prev_row] = prev_col
+                        col_match[prev_col] = prev_row
+                    return True
+                visited_round[u] = round_id
+                stack[-1][1] = idx
+                path_rows.append(u)
+                stack.append([w, int(col_ptr[w])])
+                advanced = True
+                break
+            if advanced:
+                continue
+            stack[-1][1] = idx
+            if idx >= stop:
+                stack.pop()
+                if path_rows:
+                    path_rows.pop()
+        return False
+
+    visited_round = np.full(n_rows, -1, dtype=np.int64)
+    round_id = 0
+    while True:
+        counters["phases"] += 1
+        progressed = 0
+        for v in np.flatnonzero(col_match == UNMATCHED):
+            round_id += 1
+            if _augment_from(int(v), visited_round, round_id):
+                progressed += 1
+                counters["augmentations"] += 1
+        if progressed == 0:
+            break
+
+    wall = time.perf_counter() - t0
+    return MatchingResult.create(
+        "PFP", Matching(row_match, col_match), counters=counters, wall_time=wall
+    )

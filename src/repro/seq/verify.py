@@ -1,0 +1,125 @@
+"""Verification utilities for matchings.
+
+Used throughout the test-suite and by the benchmark harness to check that
+every algorithm returns a valid *maximum* matching (Theorem 1 of the paper:
+a matching is maximum iff it admits no augmenting path).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching import UNMATCHED, Matching
+
+__all__ = [
+    "is_valid_matching",
+    "is_maximal_matching",
+    "is_maximum_matching",
+    "maximum_matching_cardinality",
+    "find_augmenting_path",
+]
+
+
+def is_valid_matching(graph: BipartiteGraph, matching: Matching) -> bool:
+    """Whether ``matching`` is a consistent matching of ``graph``.
+
+    Checks that the two arrays are mutually consistent, that every matched
+    pair is an edge of the graph and that no vertex appears twice.
+    """
+    row_match, col_match = matching.row_match, matching.col_match
+    if len(row_match) != graph.n_rows or len(col_match) != graph.n_cols:
+        return False
+    matched_rows = np.flatnonzero(row_match >= 0)
+    if len(matched_rows) and row_match[matched_rows].max() >= graph.n_cols:
+        return False
+    # Mutual consistency.
+    if np.any(col_match[row_match[matched_rows]] != matched_rows):
+        return False
+    matched_cols = np.flatnonzero(col_match >= 0)
+    if len(matched_cols) and col_match[matched_cols].max() >= graph.n_rows:
+        return False
+    if np.any(row_match[col_match[matched_cols]] != matched_cols):
+        return False
+    # No column matched twice (injectivity of row_match on matched rows).
+    cols = row_match[matched_rows]
+    if len(np.unique(cols)) != len(cols):
+        return False
+    # Every matched pair must be an edge.
+    return all(graph.has_edge(int(u), int(row_match[u])) for u in matched_rows)
+
+
+def is_maximal_matching(graph: BipartiteGraph, matching: Matching) -> bool:
+    """Whether no edge can be added directly (both endpoints unmatched)."""
+    row_match, col_match = matching.row_match, matching.col_match
+    for v in np.flatnonzero(col_match < 0):
+        for u in graph.column_neighbors(v):
+            if row_match[u] == UNMATCHED:
+                return False
+    return True
+
+
+def find_augmenting_path(graph: BipartiteGraph, matching: Matching, start_col: int) -> list[int] | None:
+    """BFS for an augmenting path starting at the unmatched column ``start_col``.
+
+    Returns the path as an alternating vertex list ``[col, row, col, row, ...]``
+    (columns and rows interleaved, ending at an unmatched row), or ``None``.
+    """
+    row_match, col_match = matching.row_match, matching.col_match
+    if col_match[start_col] != UNMATCHED:
+        raise ValueError(f"column {start_col} is already matched")
+    parent_row: dict[int, int] = {}
+    parent_col: dict[int, int] = {start_col: -1}
+    queue: deque[int] = deque([start_col])
+    while queue:
+        v = queue.popleft()
+        for u in graph.column_neighbors(v):
+            u = int(u)
+            if u in parent_row:
+                continue
+            parent_row[u] = v
+            if row_match[u] == UNMATCHED:
+                # Reconstruct column/row alternating path.
+                path = [u]
+                col = v
+                while col != -1:
+                    path.append(col)
+                    row = parent_col[col]
+                    if row == -1:
+                        break
+                    path.append(row)
+                    col = parent_row[row]
+                path.reverse()
+                return path
+            w = int(row_match[u])
+            if w not in parent_col:
+                parent_col[w] = u
+                queue.append(w)
+    return None
+
+
+def is_maximum_matching(graph: BipartiteGraph, matching: Matching) -> bool:
+    """Whether ``matching`` is maximum (valid and admits no augmenting path)."""
+    if not is_valid_matching(graph, matching):
+        return False
+    for v in np.flatnonzero(matching.col_match < 0):
+        if find_augmenting_path(graph, matching, int(v)) is not None:
+            return False
+    return True
+
+
+def maximum_matching_cardinality(graph: BipartiteGraph) -> int:
+    """Cardinality of a maximum matching, computed with SciPy's Hopcroft–Karp.
+
+    Used as an independent oracle by the tests and to fill the ``MM`` column
+    of the Table-I report.
+    """
+    if graph.n_edges == 0:
+        return 0
+    from scipy.sparse.csgraph import maximum_bipartite_matching
+
+    matrix = graph.to_scipy_sparse().tocsr()
+    match = maximum_bipartite_matching(matrix, perm_type="column")
+    return int(np.count_nonzero(match >= 0))

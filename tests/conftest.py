@@ -1,0 +1,49 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    chung_lu_bipartite,
+    delaunay_like_graph,
+    road_network_graph,
+    trace_graph,
+    uniform_random_bipartite,
+)
+from repro.graph import BipartiteGraph, from_edges
+
+
+@pytest.fixture
+def tiny_graph() -> BipartiteGraph:
+    """A 4x4 graph whose maximum matching has cardinality 3 (hand-checked)."""
+    edges = [(0, 0), (0, 1), (1, 0), (2, 1), (2, 2), (3, 2)]
+    return from_edges(edges, n_rows=4, n_cols=4, name="tiny")
+
+
+@pytest.fixture
+def perfect_graph() -> BipartiteGraph:
+    """A 5x5 graph with a perfect matching (diagonal plus noise)."""
+    edges = [(i, i) for i in range(5)] + [(0, 2), (3, 1), (4, 0)]
+    return from_edges(edges, n_rows=5, n_cols=5, name="perfect")
+
+
+@pytest.fixture(
+    params=[
+        ("uniform", lambda: uniform_random_bipartite(300, 320, avg_degree=4.0, seed=11)),
+        ("powerlaw", lambda: chung_lu_bipartite(280, 280, avg_degree=6.0, seed=12)),
+        ("road", lambda: road_network_graph(300, seed=13)),
+        ("delaunay", lambda: delaunay_like_graph(250, seed=14)),
+        ("trace", lambda: trace_graph(300, seed=15)),
+    ],
+    ids=lambda p: p[0],
+)
+def family_graph(request) -> BipartiteGraph:
+    """One small graph per structural family of the evaluation suite."""
+    return request.param[1]()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20130421)

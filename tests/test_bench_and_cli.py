@@ -1,0 +1,184 @@
+"""Tests for the benchmark harness, the report builders and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    SuiteRunner,
+    build_figure1,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_table1,
+    geometric_mean,
+    modeled_seconds_for,
+    performance_profile,
+    render_table,
+    speedup_profile,
+)
+from repro.cli import main
+from repro.matching import MatchingResult, Matching
+from repro.graph.builders import empty_graph
+
+_TINY_SUBSET = ("amazon0505", "roadNet-PA", "hugetrace-00000", "delaunay_n20")
+
+
+@pytest.fixture(scope="module")
+def tiny_suite_results():
+    runner = SuiteRunner(profile="tiny", instances=_TINY_SUBSET)
+    return runner.run()
+
+
+# ------------------------------------------------------------------ harness
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([3.0]) == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_modeled_seconds_for_cpu_and_gpu():
+    gpu_like = MatchingResult.create("x", Matching.empty(empty_graph(1, 1)), modeled_time=0.5)
+    assert modeled_seconds_for(gpu_like) == 0.5
+    cpu_like = MatchingResult.create(
+        "y",
+        Matching.empty(empty_graph(1, 1)),
+        counters={"edges_scanned": 1000, "gr_edges_scanned": 500, "relabels": 100},
+    )
+    assert modeled_seconds_for(cpu_like) > 0
+
+
+def test_suite_runner_unknown_instance():
+    with pytest.raises(KeyError):
+        SuiteRunner(profile="tiny", instances=("no-such-graph",)).specs()
+
+
+def test_suite_runner_results_structure(tiny_suite_results):
+    assert len(tiny_suite_results) == len(_TINY_SUBSET)
+    for res in tiny_suite_results:
+        assert set(res.runs) == {"G-PR", "G-HKDW", "P-DBFS", "PR"}
+        cards = {run.cardinality for run in res.runs.values()}
+        assert len(cards) == 1  # every algorithm reaches the same maximum cardinality
+        assert res.maximum_matching >= res.initial_matching
+        for run in res.runs.values():
+            assert run.modeled_seconds > 0
+        assert res.speedup("G-PR") == pytest.approx(
+            res.runs["PR"].modeled_seconds / res.runs["G-PR"].modeled_seconds
+        )
+
+
+# ----------------------------------------------------------------- profiles
+def test_speedup_profile_shape():
+    curves = speedup_profile({"A": [0.5, 2.0, 4.0], "B": [1.0, 1.0, 1.0]}, xs=np.array([0, 1, 3]))
+    assert curves["A"] == [(0.0, 1.0), (1.0, pytest.approx(2 / 3)), (3.0, pytest.approx(1 / 3))]
+    assert curves["B"][1] == (1.0, 1.0)
+    with pytest.raises(ValueError):
+        speedup_profile({"A": []})
+
+
+def test_performance_profile_shape():
+    curves = performance_profile(
+        {"A": [1.0, 2.0], "B": [2.0, 1.0]}, xs=np.array([1.0, 2.0, 3.0])
+    )
+    assert curves["A"][0] == (1.0, 0.5)
+    assert curves["A"][1] == (2.0, 1.0)
+    with pytest.raises(ValueError):
+        performance_profile({})
+    with pytest.raises(ValueError):
+        performance_profile({"A": [0.0]})
+
+
+# ------------------------------------------------------------------ reports
+def test_build_figure1_tiny():
+    cells = build_figure1(
+        profile="tiny",
+        instances=("amazon0505", "roadNet-PA"),
+        strategies=("adaptive:0.7", "fix:10"),
+    )
+    assert len(cells) == 3 * 2
+    assert all(cell.geomean_seconds > 0 for cell in cells)
+    variants = {cell.variant for cell in cells}
+    assert variants == {"G-PR-First", "G-PR-NoShr", "G-PR-Shr"}
+
+
+def test_build_figures_2_3_4(tiny_suite_results):
+    fig2 = build_figure2(tiny_suite_results)
+    assert set(fig2) == {"G-PR", "G-HKDW", "P-DBFS"}
+    fig3 = build_figure3(tiny_suite_results)
+    for points in fig3.values():
+        assert points[-1][1] <= 1.0
+    rows, average = build_figure4(tiny_suite_results)
+    assert len(rows) == len(tiny_suite_results)
+    assert average > 0
+
+
+def test_build_and_render_table1(tiny_suite_results):
+    table = build_table1(tiny_suite_results)
+    assert len(table["rows"]) == len(_TINY_SUBSET)
+    assert set(table["geomeans"]) == {"G-PR", "G-HKDW", "P-DBFS", "PR"}
+    text = render_table(table)
+    assert "GEOMEAN" in text
+    assert "amazon0505" in text
+
+
+# ---------------------------------------------------------------------- CLI
+def test_cli_run_suite_instance(capsys):
+    assert main(["run", "--graph", "amazon0505", "--profile", "tiny", "--algorithm", "pr"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["graph"] == "amazon0505"
+    assert payload["cardinality"] > 0
+    assert payload["modeled_seconds"] > 0
+
+
+def test_cli_run_mtx(tmp_path, capsys, tiny_graph):
+    from repro.graph import write_matrix_market
+
+    path = tmp_path / "g.mtx"
+    write_matrix_market(tiny_graph, path)
+    assert main(["run", "--mtx", str(path), "--algorithm", "g-pr"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cardinality"] == 3
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "amazon0505" in out
+    assert "g-pr" in out
+
+
+def test_cli_table1(capsys):
+    assert main(["table1", "--profile", "tiny", "--instances", "amazon0505", "roadNet-PA"]) == 0
+    out = capsys.readouterr().out
+    assert "GEOMEAN" in out
+
+
+@pytest.mark.parametrize("figure", ["2", "3", "4"])
+def test_cli_figures(capsys, figure):
+    assert (
+        main(
+            [
+                "figures",
+                "--figure",
+                figure,
+                "--profile",
+                "tiny",
+                "--instances",
+                "amazon0505",
+                "roadNet-PA",
+            ]
+        )
+        == 0
+    )
+    assert capsys.readouterr().out.strip()
+
+
+def test_cli_figure1(capsys):
+    assert main(["figures", "--figure", "1", "--profile", "tiny", "--instances", "amazon0505"]) == 0
+    assert "G-PR-Shr" in capsys.readouterr().out

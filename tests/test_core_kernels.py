@@ -1,0 +1,259 @@
+"""Unit tests for the individual GPU kernels (lockstep implementations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    active_columns_mask,
+    fix_matching_kernel,
+    global_relabel_kernel,
+    init_active_kernel,
+    init_relabel_kernel,
+    push_kernel_active_list,
+    push_kernel_all_columns,
+    push_kernel_all_columns_serialized,
+    shrink_kernel,
+)
+from repro.core.relabel import gpu_global_relabel
+from repro.graph import from_edges
+from repro.gpusim import VirtualGPU
+from repro.matching import UNMATCHABLE, UNMATCHED, Matching
+from repro.seq.greedy import cheap_matching
+
+
+def _state(graph, initial=None):
+    if initial is None:
+        matching = Matching.empty(graph)
+    else:
+        matching = initial.copy()
+    psi_row = np.zeros(graph.n_rows, dtype=np.int64)
+    psi_col = np.ones(graph.n_cols, dtype=np.int64)
+    return matching.row_match, matching.col_match, psi_row, psi_col
+
+
+# -------------------------------------------------------------- active mask
+def test_active_mask_unmatched_and_inconsistent(tiny_graph):
+    mu_row, mu_col, _, _ = _state(tiny_graph)
+    mu_row[0] = 1
+    mu_col[1] = 0  # consistent pair (0, 1)
+    mu_col[2] = 0  # stale pointer: row 0 does not point back
+    mu_col[3] = UNMATCHABLE  # retired
+    mask = active_columns_mask(mu_row, mu_col)
+    assert list(mask) == [True, False, True, False]
+
+
+# ------------------------------------------------------------ global relabel
+def test_init_relabel_kernel(tiny_graph):
+    mu_row, mu_col, psi_row, psi_col = _state(tiny_graph)
+    mu_row[0] = 0
+    mu_col[0] = 0
+    work = init_relabel_kernel(tiny_graph, mu_row, psi_row, psi_col)
+    inf = tiny_graph.infinity_label
+    assert psi_row[0] == inf  # matched rows start at infinity
+    assert set(psi_row[1:]) == {0}  # unmatched rows at 0
+    assert np.all(psi_col == inf)
+    assert len(work) == tiny_graph.n_vertices
+
+
+def test_global_relabel_sets_exact_distances():
+    # Path graph: c0 - r0 - c1 - r1, with (r0,c1),(r1,c1) matched as r1-c1.
+    g = from_edges([(0, 0), (0, 1), (1, 1)], n_rows=2, n_cols=2)
+    mu_row = np.array([UNMATCHED, 1], dtype=np.int64)
+    mu_col = np.array([UNMATCHED, 1], dtype=np.int64)
+    psi_row = np.zeros(2, dtype=np.int64)
+    psi_col = np.zeros(2, dtype=np.int64)
+    gpu = VirtualGPU()
+    max_level = gpu_global_relabel(g, mu_row, mu_col, psi_row, psi_col, gpu)
+    # r0 is the only unmatched row: distance 0; c0 and c1 at distance 1; r1 at 2.
+    assert psi_row[0] == 0
+    assert psi_col[0] == 1
+    assert psi_col[1] == 1
+    assert psi_row[1] == 2
+    assert max_level >= 2
+    assert gpu.ledger.n_launches >= 2
+
+
+def test_global_relabel_marks_unreachable_vertices():
+    # Column 1 has no neighbours; rows all matched except none reachable from it.
+    g = from_edges([(0, 0)], n_rows=2, n_cols=2)
+    mu_row = np.array([0, UNMATCHED], dtype=np.int64)
+    mu_col = np.array([0, UNMATCHED], dtype=np.int64)
+    psi_row = np.zeros(2, dtype=np.int64)
+    psi_col = np.zeros(2, dtype=np.int64)
+    gpu = VirtualGPU()
+    gpu_global_relabel(g, mu_row, mu_col, psi_row, psi_col, gpu)
+    inf = g.infinity_label
+    assert psi_col[1] == inf  # isolated column: unreachable
+    assert psi_row[1] == 0  # unmatched row is a BFS source
+
+
+def test_global_relabel_kernel_empty_frontier(tiny_graph):
+    mu_row, mu_col, psi_row, psi_col = _state(tiny_graph)
+    psi_row.fill(tiny_graph.infinity_label)
+    added, work = global_relabel_kernel(tiny_graph, mu_row, mu_col, psi_row, psi_col, 0)
+    assert not added
+    assert len(work) == tiny_graph.n_rows
+
+
+# ------------------------------------------------------------- push kernels
+def test_push_kernel_single_push(tiny_graph):
+    mu_row, mu_col, psi_row, psi_col = _state(tiny_graph)
+    gpu = VirtualGPU()
+    gpu_global_relabel(tiny_graph, mu_row, mu_col, psi_row, psi_col, gpu)
+    act, work = push_kernel_all_columns(tiny_graph, mu_row, mu_col, psi_row, psi_col)
+    assert act
+    # Every column with at least one neighbour got matched to some row (all
+    # rows were unmatched, so every push is a single push and ψ(row) becomes 2).
+    for v in range(3):
+        assert mu_col[v] >= 0
+        assert mu_row[mu_col[v]] in (0, 1, 2, 3)
+    # Column 3 has no neighbours: it is retired.
+    assert mu_col[3] == UNMATCHABLE
+    assert len(work) == tiny_graph.n_cols
+
+
+def test_push_kernel_no_active_columns(tiny_graph):
+    mu_row, mu_col, psi_row, psi_col = _state(tiny_graph)
+    mu_col.fill(UNMATCHABLE)
+    act, _ = push_kernel_all_columns(tiny_graph, mu_row, mu_col, psi_row, psi_col)
+    assert not act
+
+
+def test_push_kernel_conflict_resolution():
+    # Two columns share their only row; exactly one can win the push.
+    g = from_edges([(0, 0), (0, 1)], n_rows=1, n_cols=2)
+    mu_row, mu_col, psi_row, psi_col = _state(g)
+    act, _ = push_kernel_all_columns(g, mu_row, mu_col, psi_row, psi_col)
+    assert act
+    winner = mu_row[0]
+    assert winner in (0, 1)
+    # Both columns believe they are matched to row 0 (the paper's tolerated
+    # inconsistency); only the winner is consistent.
+    assert mu_col[0] == 0 and mu_col[1] == 0
+    loser = 1 - winner
+    mask = active_columns_mask(mu_row, mu_col)
+    assert mask[loser] and not mask[winner]
+
+
+def test_push_kernel_serialized_matches_semantics(tiny_graph):
+    mu_row, mu_col, psi_row, psi_col = _state(tiny_graph)
+    gpu = VirtualGPU()
+    gpu_global_relabel(tiny_graph, mu_row, mu_col, psi_row, psi_col, gpu)
+    act, work = push_kernel_all_columns_serialized(
+        tiny_graph, mu_row, mu_col, psi_row, psi_col, rng=np.random.default_rng(0)
+    )
+    assert act
+    assert len(work) == tiny_graph.n_cols
+    assert np.count_nonzero(mu_row >= 0) >= 1
+
+
+def test_fix_matching_kernel(tiny_graph):
+    mu_row, mu_col, _, _ = _state(tiny_graph)
+    mu_row[0] = 1
+    mu_col[1] = 0  # consistent
+    mu_col[0] = 0  # stale
+    mu_col[2] = UNMATCHABLE
+    fix_matching_kernel(mu_row, mu_col)
+    assert mu_col[1] == 0
+    assert mu_col[0] == UNMATCHED
+    assert mu_col[2] == UNMATCHED
+
+
+# ---------------------------------------------------------- active-list path
+def test_init_active_kernel_rolls_back_losers():
+    g = from_edges([(0, 0), (0, 1)], n_rows=1, n_cols=2)
+    mu_row, mu_col, psi_row, psi_col = _state(g)
+    # Simulate the aftermath of a conflicting push round: both columns pushed
+    # onto row 0, column 1 won.
+    mu_row[0] = 1
+    mu_col[0] = 0
+    mu_col[1] = 0
+    ap = np.array([0, 1], dtype=np.int64)  # both columns were processed
+    ac = np.array([-1, -1], dtype=np.int64)  # neither push produced a new active column
+    ia = np.full(2, -1, dtype=np.int64)
+    act, work = init_active_kernel(mu_row, mu_col, ac, ap, ia, loop=5)
+    assert act
+    # Column 0 lost, so it must be rolled back into the active list; column 1
+    # is consistently matched and must not reappear.
+    assert 0 in ac
+    assert 1 not in ac
+    assert ia[0] == 5
+    assert len(work) == 2
+
+
+def test_init_active_kernel_deduplicates():
+    mu_row = np.array([UNMATCHED], dtype=np.int64)
+    mu_col = np.array([UNMATCHED, UNMATCHED], dtype=np.int64)
+    ac = np.array([0, 0, 1], dtype=np.int64)  # column 0 appears twice
+    ap = np.full(3, -1, dtype=np.int64)
+    ia = np.full(2, -1, dtype=np.int64)
+    act, _ = init_active_kernel(mu_row, mu_col, ac, ap, ia, loop=1)
+    assert act
+    assert np.count_nonzero(ac == 0) == 1
+    assert np.count_nonzero(ac == 1) == 1
+
+
+def test_init_active_kernel_empty():
+    act, work = init_active_kernel(
+        np.array([], dtype=np.int64),
+        np.array([], dtype=np.int64),
+        np.array([], dtype=np.int64),
+        np.array([], dtype=np.int64),
+        np.array([], dtype=np.int64),
+        loop=0,
+    )
+    assert not act
+    assert len(work) == 0
+
+
+def test_push_kernel_active_list_basic(tiny_graph):
+    mu_row, mu_col, psi_row, psi_col = _state(tiny_graph)
+    gpu = VirtualGPU()
+    gpu_global_relabel(tiny_graph, mu_row, mu_col, psi_row, psi_col, gpu)
+    ac = np.array([0, 1, 2, 3], dtype=np.int64)
+    ap = np.full(4, -1, dtype=np.int64)
+    ia = np.full(4, -1, dtype=np.int64)
+    ia[ac] = 0
+    work = push_kernel_active_list(
+        tiny_graph, mu_row, mu_col, psi_row, psi_col, ac, ap, ia, loop=0
+    )
+    assert len(work) == 4
+    # Column 3 is isolated: retired and its slots cleared.
+    assert mu_col[3] == UNMATCHABLE
+    assert ac[3] == -1 and ap[3] == -1
+    # The other columns performed single pushes, so no new active columns.
+    assert set(ap[:3]) == {-1}
+
+
+def test_push_kernel_active_list_double_push_records_victim():
+    # Row 0 matched to column 1; column 0 (unmatched) will displace it.
+    g = from_edges([(0, 0), (0, 1)], n_rows=1, n_cols=2)
+    mu_row = np.array([1], dtype=np.int64)
+    mu_col = np.array([UNMATCHED, 0], dtype=np.int64)
+    psi_row = np.array([0], dtype=np.int64)
+    psi_col = np.array([1, 1], dtype=np.int64)
+    ac = np.array([0], dtype=np.int64)
+    ap = np.array([-1], dtype=np.int64)
+    ia = np.full(2, -1, dtype=np.int64)
+    ia[0] = 3
+    push_kernel_active_list(g, mu_row, mu_col, psi_row, psi_col, ac, ap, ia, loop=3)
+    assert mu_row[0] == 0
+    assert mu_col[0] == 0
+    assert ap[0] == 1  # the displaced column is recorded as the new active column
+
+
+def test_shrink_kernel_compacts():
+    mu_row = np.array([UNMATCHED, UNMATCHED], dtype=np.int64)
+    mu_col = np.array([UNMATCHED, 5, UNMATCHED], dtype=np.int64)  # column 1 stale-pointer active
+    mu_col[1] = UNMATCHED
+    ac = np.array([0, -1, -1, 2, -1, -1, -1, -1], dtype=np.int64)
+    ap = np.full(8, -1, dtype=np.int64)
+    ia = np.full(3, -1, dtype=np.int64)
+    act, new_ac, new_ap, work = shrink_kernel(mu_row, mu_col, ac, ap, ia, loop=2)
+    assert act
+    assert sorted(new_ac.tolist()) == [0, 2]
+    assert len(new_ap) == 2
+    assert np.all(new_ap == -1)
+    assert len(work) == 8

@@ -1,0 +1,188 @@
+"""Tests for the virtual GPU substrate: device, arrays, cost model, primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    DeviceArray,
+    DeviceSpec,
+    VirtualGPU,
+    device_exclusive_scan,
+    device_reduce_max,
+    device_reduce_sum,
+    launch_serialized,
+)
+from repro.gpusim.costmodel import CpuCostModel, GpuCostModel, MulticoreCostModel
+
+
+# -------------------------------------------------------------------- device
+def test_device_spec_defaults_match_tesla_c2050():
+    spec = DeviceSpec()
+    assert spec.total_cores == 448
+    assert spec.num_sms == 14
+    assert spec.warp_size == 32
+
+
+def test_device_spec_scaled():
+    spec = DeviceSpec().scaled(0.05)
+    assert spec.total_cores < DeviceSpec().total_cores
+    assert spec.kernel_launch_overhead_s < DeviceSpec().kernel_launch_overhead_s
+    with pytest.raises(ValueError):
+        DeviceSpec().scaled(0.0)
+    with pytest.raises(ValueError):
+        DeviceSpec().scaled(2.0)
+
+
+def test_virtual_gpu_ledger_accumulates():
+    gpu = VirtualGPU()
+    gpu.charge_kernel("a", np.ones(100))
+    gpu.charge_kernel("b", np.full(10, 5.0))
+    assert gpu.ledger.n_launches == 2
+    assert gpu.elapsed_seconds > 0
+    per_kernel = gpu.ledger.by_kernel()
+    assert set(per_kernel) == {"a", "b"}
+    counters = gpu.ledger.counters()
+    assert counters["kernel_launches"] == 2
+    gpu.reset()
+    assert gpu.ledger.n_launches == 0
+
+
+def test_virtual_gpu_transfers_tracked_when_enabled():
+    gpu = VirtualGPU(track_transfers=True)
+    arr = gpu.to_device(np.zeros(1000, dtype=np.int64), name="x")
+    gpu.to_host(arr)
+    assert gpu.ledger.transfer_bytes == 2 * 1000 * 8
+    assert gpu.ledger.transfer_seconds > 0
+
+    silent = VirtualGPU(track_transfers=False)
+    silent.to_device(np.zeros(1000))
+    assert silent.ledger.transfer_bytes == 0
+
+
+def test_virtual_gpu_alloc_helpers():
+    gpu = VirtualGPU()
+    z = gpu.zeros(5)
+    f = gpu.full(3, 7)
+    assert np.array_equal(np.asarray(z), np.zeros(5, dtype=np.int64))
+    assert np.array_equal(np.asarray(f), np.full(3, 7, dtype=np.int64))
+
+
+# --------------------------------------------------------------- cost model
+def test_launch_overhead_charged_even_for_empty_launch():
+    spec = DeviceSpec()
+    model = GpuCostModel(spec)
+    seconds, total, divergent, max_thread = model.launch_seconds(np.zeros(0))
+    assert seconds == pytest.approx(spec.kernel_launch_overhead_s)
+    assert total == 0.0
+
+
+def test_uniform_work_scales_with_threads():
+    model = GpuCostModel(DeviceSpec())
+    few, *_ = model.launch_seconds(np.full(32, 10.0))
+    many, *_ = model.launch_seconds(np.full(32 * 1000, 10.0))
+    assert many > few
+
+
+def test_divergence_penalty():
+    model = GpuCostModel(DeviceSpec())
+    # Same total work, but concentrated in one thread per warp (divergent).
+    balanced = np.full(320, 10.0)
+    skewed = np.zeros(320)
+    skewed[::32] = 100.0
+    t_balanced, *_ = model.launch_seconds(balanced)
+    t_skewed, *_ = model.launch_seconds(skewed)
+    assert t_skewed > t_balanced * 0.99  # divergent warps cannot be cheaper
+    # A single enormous thread bounds the launch by the critical path.
+    single = np.zeros(448 * 10)
+    single[0] = 1e6
+    t_single, *_ = model.launch_seconds(single)
+    expected = DeviceSpec().kernel_launch_overhead_s + 1e6 * DeviceSpec().cycles_per_op / (
+        DeviceSpec().clock_ghz * 1e9
+    )
+    assert t_single == pytest.approx(expected, rel=1e-6)
+
+
+def test_cpu_cost_model_linear():
+    cpu = CpuCostModel()
+    assert cpu.seconds(2_000_000) == pytest.approx(2 * cpu.seconds(1_000_000))
+
+
+def test_multicore_cost_model_bounds():
+    mc = MulticoreCostModel(n_threads=8)
+    balanced = mc.round_seconds(total_ops=8000, max_thread_ops=1000)
+    skewed = mc.round_seconds(total_ops=8000, max_thread_ops=8000)
+    assert skewed > balanced
+    with_atomics = mc.round_seconds(total_ops=8000, max_thread_ops=1000, atomics=10000)
+    assert with_atomics > balanced
+
+
+# ---------------------------------------------------------------- primitives
+def test_exclusive_scan_matches_numpy():
+    values = np.array([3, 1, 4, 1, 5, 9, 2, 6])
+    scan, work = device_exclusive_scan(values)
+    assert np.array_equal(scan, np.array([0, 3, 4, 8, 9, 14, 23, 25]))
+    assert len(work) == len(values)
+
+
+def test_exclusive_scan_empty():
+    scan, work = device_exclusive_scan(np.array([], dtype=np.int64))
+    assert len(scan) == 0
+    assert len(work) == 0
+
+
+def test_reductions():
+    values = np.array([2.0, 7.0, 1.0])
+    total, work = device_reduce_sum(values)
+    peak, _ = device_reduce_max(values)
+    assert total == 10.0
+    assert peak == 7.0
+    assert len(work) == 3
+    assert device_reduce_sum(np.array([]))[0] == 0.0
+    assert device_reduce_max(np.array([]))[0] == 0.0
+
+
+# ----------------------------------------------------------------- serialized
+def test_launch_serialized_runs_every_thread():
+    hits = []
+
+    def body(tid: int) -> float:
+        hits.append(tid)
+        return float(tid)
+
+    work = launch_serialized(body, 5)
+    assert sorted(hits) == [0, 1, 2, 3, 4]
+    assert np.array_equal(work, np.array([0.0, 1.0, 2.0, 3.0, 4.0]))
+
+
+def test_launch_serialized_with_permutation():
+    order_seen = []
+    rng = np.random.default_rng(3)
+    launch_serialized(lambda tid: order_seen.append(tid) or 1.0, 8, rng=rng)
+    assert sorted(order_seen) == list(range(8))
+    # With an explicit order the execution sequence is exactly that order.
+    order_seen.clear()
+    launch_serialized(lambda tid: order_seen.append(tid) or 1.0, 4, order=[3, 1, 0, 2])
+    assert order_seen == [3, 1, 0, 2]
+
+
+def test_launch_serialized_rejects_bad_order():
+    with pytest.raises(ValueError):
+        launch_serialized(lambda tid: 1.0, 3, order=[0, 0, 1])
+
+
+# -------------------------------------------------------------- device array
+def test_device_array_interface():
+    arr = DeviceArray(np.arange(6), name="x")
+    assert arr.shape == (6,)
+    assert len(arr) == 6
+    assert arr[2] == 2
+    arr[2] = 99
+    assert arr[2] == 99
+    arr.fill(1)
+    assert np.asarray(arr).sum() == 6
+    copy = arr.copy()
+    copy[0] = 42
+    assert arr[0] == 1
+    assert arr.nbytes == 6 * arr.dtype.itemsize

@@ -1,0 +1,144 @@
+"""Unit tests for the CSR bipartite graph container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteGraph, from_edges
+from repro.graph.builders import empty_graph
+
+
+def test_basic_construction(tiny_graph):
+    assert tiny_graph.n_rows == 4
+    assert tiny_graph.n_cols == 4
+    assert tiny_graph.n_edges == 6
+    assert tiny_graph.shape == (4, 4)
+    assert tiny_graph.n_vertices == 8
+    assert tiny_graph.infinity_label == 8
+
+
+def test_column_neighbors_sorted(tiny_graph):
+    assert list(tiny_graph.column_neighbors(0)) == [0, 1]
+    assert list(tiny_graph.column_neighbors(1)) == [0, 2]
+    assert list(tiny_graph.column_neighbors(2)) == [2, 3]
+    assert list(tiny_graph.column_neighbors(3)) == []
+
+
+def test_row_neighbors_sorted(tiny_graph):
+    assert list(tiny_graph.row_neighbors(0)) == [0, 1]
+    assert list(tiny_graph.row_neighbors(2)) == [1, 2]
+
+
+def test_neighbor_index_out_of_range(tiny_graph):
+    with pytest.raises(IndexError):
+        tiny_graph.column_neighbors(4)
+    with pytest.raises(IndexError):
+        tiny_graph.row_neighbors(-1)
+
+
+def test_degrees(tiny_graph):
+    assert list(tiny_graph.column_degrees()) == [2, 2, 2, 0]
+    assert list(tiny_graph.row_degrees()) == [2, 1, 2, 1]
+
+
+def test_has_edge(tiny_graph):
+    assert tiny_graph.has_edge(0, 0)
+    assert tiny_graph.has_edge(3, 2)
+    assert not tiny_graph.has_edge(3, 3)
+    assert not tiny_graph.has_edge(1, 2)
+
+
+def test_edges_roundtrip(tiny_graph):
+    edges = {(int(u), int(v)) for u, v in tiny_graph.edges()}
+    assert edges == {(0, 0), (0, 1), (1, 0), (2, 1), (2, 2), (3, 2)}
+
+
+def test_transpose_swaps_sides(tiny_graph):
+    t = tiny_graph.transpose()
+    assert t.n_rows == tiny_graph.n_cols
+    assert t.n_cols == tiny_graph.n_rows
+    assert {(int(u), int(v)) for u, v in t.edges()} == {
+        (v, u) for u, v in ((0, 0), (0, 1), (1, 0), (2, 1), (2, 2), (3, 2))
+    }
+    # Double transpose gives back the original edge set.
+    tt = t.transpose()
+    assert np.array_equal(tt.col_ptr, tiny_graph.col_ptr)
+    assert np.array_equal(tt.col_ind, tiny_graph.col_ind)
+
+
+def test_arrays_are_readonly(tiny_graph):
+    with pytest.raises(ValueError):
+        tiny_graph.col_ind[0] = 99
+
+
+def test_duplicate_edges_are_merged():
+    g = from_edges([(0, 0), (0, 0), (1, 1), (1, 1), (1, 1)], n_rows=2, n_cols=2)
+    assert g.n_edges == 2
+
+
+def test_rectangular_shape():
+    g = from_edges([(0, 0), (1, 3)], n_rows=2, n_cols=5)
+    assert g.shape == (2, 5)
+    assert g.infinity_label == 7
+
+
+def test_empty_graph():
+    g = empty_graph(3, 4)
+    assert g.n_edges == 0
+    assert g.shape == (3, 4)
+    assert list(g.column_neighbors(0)) == []
+
+
+def test_invalid_csr_rejected():
+    with pytest.raises(ValueError):
+        BipartiteGraph(
+            n_rows=2,
+            n_cols=2,
+            col_ptr=np.array([0, 1]),  # wrong length
+            col_ind=np.array([0]),
+            row_ptr=np.array([0, 1, 1]),
+            row_ind=np.array([0]),
+        )
+    with pytest.raises(ValueError):
+        BipartiteGraph(
+            n_rows=2,
+            n_cols=2,
+            col_ptr=np.array([0, 1, 1]),
+            col_ind=np.array([0, 1]),  # pointer/data mismatch
+            row_ptr=np.array([0, 1, 1]),
+            row_ind=np.array([0]),
+        )
+
+
+def test_edge_indices_out_of_declared_shape():
+    with pytest.raises(ValueError):
+        from_edges([(0, 5)], n_rows=1, n_cols=3)
+    with pytest.raises(ValueError):
+        from_edges([(-1, 0)])
+
+
+def test_with_name(tiny_graph):
+    renamed = tiny_graph.with_name("other")
+    assert renamed.name == "other"
+    assert renamed.n_edges == tiny_graph.n_edges
+
+
+def test_to_scipy_sparse_roundtrip(tiny_graph):
+    from repro.graph import from_scipy_sparse
+
+    mat = tiny_graph.to_scipy_sparse()
+    assert mat.shape == (4, 4)
+    back = from_scipy_sparse(mat)
+    assert np.array_equal(back.col_ptr, tiny_graph.col_ptr)
+    assert np.array_equal(back.col_ind, tiny_graph.col_ind)
+
+
+def test_to_networkx_roundtrip(tiny_graph):
+    from repro.graph import from_networkx
+
+    nxg = tiny_graph.to_networkx()
+    assert nxg.number_of_nodes() == 8
+    assert nxg.number_of_edges() == 6
+    back = from_networkx(nxg, row_nodes=[("r", i) for i in range(4)])
+    assert back.n_edges == tiny_graph.n_edges

@@ -1,0 +1,163 @@
+"""Tests for graph builders, validation, statistics and Matrix-Market I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_dense,
+    from_edges,
+    from_scipy_sparse,
+    read_matrix_market,
+    structure_summary,
+    validate_graph,
+    write_matrix_market,
+)
+from repro.graph.stats import degree_statistics
+from repro.graph.validate import GraphValidationError
+
+
+def test_from_dense():
+    mat = [[1, 0, 2], [0, 0, 0], [3, 4, 0]]
+    g = from_dense(mat)
+    assert g.shape == (3, 3)
+    assert {(int(u), int(v)) for u, v in g.edges()} == {(0, 0), (0, 2), (2, 0), (2, 1)}
+
+
+def test_from_dense_rejects_non_2d():
+    with pytest.raises(ValueError):
+        from_dense([1, 2, 3])
+
+
+def test_from_scipy_sparse_drops_explicit_zeros():
+    from scipy import sparse
+
+    mat = sparse.coo_matrix(([1.0, 0.0, 2.0], ([0, 1, 2], [0, 1, 2])), shape=(3, 3))
+    g = from_scipy_sparse(mat)
+    assert g.n_edges == 2
+
+
+def test_from_scipy_sparse_type_error():
+    with pytest.raises(TypeError):
+        from_scipy_sparse(np.eye(3))
+
+
+def test_from_edges_empty():
+    g = from_edges([], n_rows=5, n_cols=7)
+    assert g.n_edges == 0
+    assert g.shape == (5, 7)
+
+
+def test_validate_accepts_built_graphs(family_graph):
+    validate_graph(family_graph)
+
+
+def test_validate_rejects_unsorted_adjacency():
+    from repro.graph import BipartiteGraph
+
+    bad = BipartiteGraph(
+        n_rows=2,
+        n_cols=1,
+        col_ptr=np.array([0, 2]),
+        col_ind=np.array([1, 0]),  # unsorted
+        row_ptr=np.array([0, 1, 2]),
+        row_ind=np.array([0, 0]),
+    )
+    with pytest.raises(GraphValidationError):
+        validate_graph(bad)
+
+
+def test_validate_rejects_mismatched_transposes():
+    from repro.graph import BipartiteGraph
+
+    bad = BipartiteGraph(
+        n_rows=2,
+        n_cols=2,
+        col_ptr=np.array([0, 1, 2]),
+        col_ind=np.array([0, 1]),
+        row_ptr=np.array([0, 1, 2]),
+        row_ind=np.array([1, 0]),  # describes the other diagonal
+    )
+    with pytest.raises(GraphValidationError):
+        validate_graph(bad)
+
+
+def test_structure_summary(tiny_graph):
+    summary = structure_summary(tiny_graph)
+    assert summary.n_rows == 4
+    assert summary.n_cols == 4
+    assert summary.n_edges == 6
+    assert summary.isolated_cols == 1
+    assert summary.isolated_rows == 0
+    assert summary.max_col_degree == 2
+    d = summary.as_dict()
+    assert d["name"] == "tiny"
+
+
+def test_degree_statistics_empty():
+    from repro.graph.builders import empty_graph
+
+    stats = degree_statistics(empty_graph(0, 0))
+    assert stats["rows"]["mean"] == 0.0
+
+
+def test_matrix_market_roundtrip(tmp_path, family_graph):
+    path = tmp_path / "graph.mtx"
+    write_matrix_market(family_graph, path)
+    back = read_matrix_market(path)
+    assert back.shape == family_graph.shape
+    assert back.n_edges == family_graph.n_edges
+    assert np.array_equal(back.col_ptr, family_graph.col_ptr)
+    assert np.array_equal(back.col_ind, family_graph.col_ind)
+
+
+def test_matrix_market_symmetric_expansion(tmp_path):
+    content = "\n".join(
+        [
+            "%%MatrixMarket matrix coordinate real symmetric",
+            "% a comment",
+            "3 3 3",
+            "1 1 1.5",
+            "2 1 2.0",
+            "3 2 -1.0",
+            "",
+        ]
+    )
+    path = tmp_path / "sym.mtx"
+    path.write_text(content)
+    g = read_matrix_market(path)
+    edges = {(int(u), int(v)) for u, v in g.edges()}
+    assert edges == {(0, 0), (1, 0), (0, 1), (2, 1), (1, 2)}
+
+
+def test_matrix_market_rejects_bad_header(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("not a matrix market file\n1 1 0\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_matrix_market_rejects_array_format(tmp_path):
+    path = tmp_path / "dense.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_matrix_market_entry_count_mismatch(tmp_path):
+    path = tmp_path / "short.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n2 2\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_matrix_market_gzip(tmp_path, tiny_graph):
+    import gzip
+
+    plain = tmp_path / "g.mtx"
+    write_matrix_market(tiny_graph, plain)
+    gz = tmp_path / "g.mtx.gz"
+    gz.write_bytes(gzip.compress(plain.read_bytes()))
+    back = read_matrix_market(gz)
+    assert back.n_edges == tiny_graph.n_edges
