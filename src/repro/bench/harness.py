@@ -16,18 +16,12 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.ghkdw import ghkdw_matching
-from repro.core.gpr import GPRConfig, GPRVariant, gpr_matching
+from repro.core.api import ExecutionPlan, resolve_algorithm
 from repro.generators.suite import SUITE_SPECS, SuiteInstance, generate_instance
-from repro.graph.bipartite import BipartiteGraph
 from repro.gpusim.costmodel import CpuCostModel
 from repro.gpusim.device import DeviceSpec, VirtualGPU
-from repro.matching import Matching, MatchingResult
-from repro.multicore.pdbfs import PDBFSConfig, pdbfs_matching
+from repro.matching import MatchingResult
 from repro.seq.greedy import cheap_matching
-from repro.seq.hopcroft_karp import hkdw_matching, hopcroft_karp_matching
-from repro.seq.pothen_fan import pothen_fan_matching
-from repro.seq.push_relabel import PushRelabelConfig, push_relabel_matching
 
 __all__ = [
     "AlgorithmRun",
@@ -106,36 +100,21 @@ class InstanceResult:
         return self.runs[baseline].modeled_seconds / self.runs[algorithm].modeled_seconds
 
 
-def _default_algorithms(device_factory: Callable[[], VirtualGPU]) -> dict[str, Callable]:
-    """The four algorithms of Table I, wired to the harness protocol."""
-
-    def run_gpr(graph: BipartiteGraph, initial: Matching) -> MatchingResult:
-        return gpr_matching(
-            graph,
-            initial=initial,
-            config=GPRConfig(variant=GPRVariant.SHRINK, strategy="adaptive:0.7"),
-            device=device_factory(),
-        )
-
-    def run_ghkdw(graph: BipartiteGraph, initial: Matching) -> MatchingResult:
-        return ghkdw_matching(graph, initial=initial, device=device_factory())
-
-    def run_pdbfs(graph: BipartiteGraph, initial: Matching) -> MatchingResult:
-        return pdbfs_matching(graph, initial=initial, config=PDBFSConfig(n_threads=8))
-
-    def run_pr(graph: BipartiteGraph, initial: Matching) -> MatchingResult:
-        return push_relabel_matching(
-            graph, initial=initial, config=PushRelabelConfig(global_relabel_k=0.5)
-        )
-
-    return {"G-PR": run_gpr, "G-HKDW": run_ghkdw, "P-DBFS": run_pdbfs, "PR": run_pr}
+def _default_algorithms(device_factory: Callable[[], VirtualGPU]) -> dict[str, ExecutionPlan]:
+    """The four algorithms of Table I as plans on the shared dispatch pipeline."""
+    return {
+        "G-PR": resolve_algorithm("g-pr", strategy="adaptive:0.7", device_factory=device_factory),
+        "G-HKDW": resolve_algorithm("g-hkdw", device_factory=device_factory),
+        "P-DBFS": resolve_algorithm("p-dbfs", n_threads=8),
+        "PR": resolve_algorithm("pr", global_relabel_k=0.5),
+    }
 
 
 #: Extra sequential baselines available to ablation benchmarks.
 EXTRA_SEQUENTIAL = {
-    "HK": lambda graph, initial: hopcroft_karp_matching(graph, initial=initial),
-    "HKDW": lambda graph, initial: hkdw_matching(graph, initial=initial),
-    "PFP": lambda graph, initial: pothen_fan_matching(graph, initial=initial),
+    "HK": resolve_algorithm("hk"),
+    "HKDW": resolve_algorithm("hkdw"),
+    "PFP": resolve_algorithm("pfp"),
 }
 
 
@@ -150,8 +129,9 @@ class SuiteRunner:
     seed:
         Suite generation seed.
     algorithms:
-        Mapping name → ``f(graph, initial_matching) -> MatchingResult``;
-        defaults to the four algorithms of Table I.
+        Mapping name → :class:`~repro.core.api.ExecutionPlan` (or a legacy
+        ``f(graph, initial_matching) -> MatchingResult`` callable); defaults
+        to the four algorithms of Table I.
     instances:
         Restrict to these instance names (default: all 28).
     device_factory:
@@ -184,8 +164,9 @@ class SuiteRunner:
         initial = cheap_matching(graph).matching
         runs: dict[str, AlgorithmRun] = {}
         maximum = 0
-        for name, fn in self.algorithms.items():
-            result = fn(graph, initial.copy())
+        for name, algo in self.algorithms.items():
+            runner = algo.run if isinstance(algo, ExecutionPlan) else algo
+            result = runner(graph, initial.copy())
             runs[name] = AlgorithmRun(
                 algorithm=name,
                 cardinality=result.cardinality,

@@ -17,6 +17,11 @@ Regenerate the figures (printed as data series)::
 Match an external Matrix-Market file::
 
     python -m repro.cli run --mtx /path/to/matrix.mtx --algorithm g-pr
+
+Execute a batch of jobs from a JSONL manifest (one job per line, e.g.
+``{"graph": "roadNet-PA", "algorithm": "g-pr", "profile": "tiny"}``)::
+
+    python -m repro.cli batch --manifest jobs.jsonl --workers 4
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from repro.bench.reports import build_figure1, build_figure2, build_figure3, bui
 from repro.core.api import ALGORITHMS, max_bipartite_matching
 from repro.generators.suite import generate_instance, instance_names
 from repro.graph.io import read_matrix_market
+from repro.service import DiskCache, MatchingJob, MatchingService
 
 __all__ = ["main"]
 
@@ -51,6 +57,113 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "wall_seconds": result.wall_time,
     }
     print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _load_manifest(path: str, default_profile: str, default_seed: int) -> list[MatchingJob]:
+    """Parse a JSONL job manifest into :class:`MatchingJob` objects.
+
+    Each line is an object with a ``graph`` (suite instance name or id) or
+    ``mtx`` (Matrix-Market path), plus optional ``algorithm``, ``kwargs``,
+    ``initial``, ``profile``, ``seed`` and ``id`` fields.  Graph construction
+    is memoized per (source, profile, seed) so a manifest that repeats a
+    graph only generates it once.
+    """
+    graphs: dict[tuple, object] = {}
+    jobs: list[MatchingJob] = []
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}:{lineno}: expected an object, got {type(entry).__name__}")
+        if ("graph" in entry) == ("mtx" in entry):
+            raise ValueError(f"{path}:{lineno}: each job needs exactly one of 'graph' or 'mtx'")
+        profile = entry.get("profile", default_profile)
+        if not isinstance(profile, str):
+            raise ValueError(f"{path}:{lineno}: 'profile' must be a string")
+        if not isinstance(entry.get("seed", 0), int):
+            raise ValueError(f"{path}:{lineno}: 'seed' must be an integer")
+        seed = int(entry.get("seed", default_seed))
+        if "mtx" in entry:
+            source = ("mtx", entry["mtx"])
+            if source not in graphs:
+                graphs[source] = read_matrix_market(entry["mtx"])
+        else:
+            source = ("suite", entry["graph"], profile, seed)
+            if source not in graphs:
+                graphs[source] = generate_instance(entry["graph"], profile=profile, seed=seed)
+        try:
+            jobs.append(
+                MatchingJob(
+                    graph=graphs[source],
+                    algorithm=entry.get("algorithm", "g-pr"),
+                    kwargs=entry.get("kwargs", {}),
+                    initial=entry.get("initial"),
+                    job_id=str(entry["id"]) if "id" in entry else f"job-{lineno}",
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
+    return jobs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        jobs = _load_manifest(args.manifest, args.profile, args.seed)
+    except (TypeError, ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print("error: empty manifest", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else DiskCache(args.cache_dir)
+    service = MatchingService(workers=args.workers, cache=cache)
+    try:
+        report = service.submit_batch(jobs)
+    except (TypeError, ValueError) as exc:
+        # The service fails fast on unknown algorithms / keyword arguments
+        # before executing anything; surface that as a manifest error.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for item in report.results:
+        print(
+            json.dumps(
+                {
+                    "type": "result",
+                    "id": item.job.job_id,
+                    "graph": item.job.graph.name,
+                    "algorithm": item.job.algorithm,
+                    "cardinality": item.result.cardinality,
+                    "cached": item.cached,
+                    "worker": item.worker,
+                    "seconds": round(item.seconds, 6),
+                }
+            )
+        )
+    print(
+        json.dumps(
+            {
+                "type": "summary",
+                "jobs": report.n_jobs,
+                "executed": report.executed,
+                "cache_hits": report.cache_hits,
+                "deduplicated": report.deduplicated,
+                "hit_rate": round(report.hit_rate, 4),
+                "workers": args.workers,
+                "wall_seconds": round(report.wall_seconds, 6),
+            }
+        )
+    )
     return 0
 
 
@@ -115,6 +228,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=20130421)
     run.set_defaults(func=_cmd_run)
 
+    batch = sub.add_parser("batch", help="execute a JSONL manifest of matching jobs")
+    batch.add_argument("--manifest", required=True,
+                       help="path to a JSONL job manifest ('-' for stdin)")
+    batch.add_argument("--workers", type=int, default=0,
+                       help="worker-pool size for cache misses (0 = in-process)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable result caching and intra-batch deduplication")
+    batch.add_argument("--cache-dir", default=".repro-cache",
+                       help="directory of the persistent result cache")
+    batch.add_argument("--profile", default="small",
+                       help="default size profile for suite-instance jobs")
+    batch.add_argument("--seed", type=int, default=20130421)
+    batch.set_defaults(func=_cmd_batch)
+
     lst = sub.add_parser("list", help="list suite instances and algorithms")
     lst.set_defaults(func=_cmd_list)
 
@@ -137,7 +264,15 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; redirect the
+        # remaining output to devnull so interpreter shutdown stays quiet.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

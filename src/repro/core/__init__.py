@@ -12,7 +12,14 @@ Public entry points
     The GPU augmenting-path comparator G-HKDW.
 """
 
-from repro.core.api import ALGORITHMS, max_bipartite_matching
+from repro.core.api import (
+    ALGORITHMS,
+    MAXIMUM_ALGORITHMS,
+    AlgorithmSpec,
+    ExecutionPlan,
+    max_bipartite_matching,
+    resolve_algorithm,
+)
 from repro.core.ghkdw import ghkdw_matching
 from repro.core.gpr import GPRConfig, GPRVariant, gpr_matching
 from repro.core.strategies import (
@@ -24,7 +31,11 @@ from repro.core.strategies import (
 
 __all__ = [
     "max_bipartite_matching",
+    "resolve_algorithm",
+    "ExecutionPlan",
+    "AlgorithmSpec",
     "ALGORITHMS",
+    "MAXIMUM_ALGORITHMS",
     "gpr_matching",
     "GPRConfig",
     "GPRVariant",

@@ -1,8 +1,29 @@
-"""Unified public API over every matching algorithm in the library."""
+"""Unified public API and dispatch pipeline over every matching algorithm.
+
+Every caller — :func:`max_bipartite_matching`, the CLI, the benchmark
+harness and the batched :mod:`repro.service` — goes through the same two
+steps:
+
+1. :func:`resolve_algorithm` turns an algorithm name plus keyword arguments
+   into an :class:`ExecutionPlan`: the registry entry, a fully-built config
+   object and the validated extra arguments.  Unknown keywords raise
+   ``TypeError`` uniformly across the registry, and an explicit ``config=``
+   conflicts with config-field keywords instead of silently winning.
+2. :meth:`ExecutionPlan.run` executes the plan on a graph (optionally from a
+   warm-start matching).  Plans are immutable and graph-independent, so one
+   plan can be reused across a whole batch of graphs.
+
+The legacy :data:`ALGORITHMS` mapping is kept as a thin view onto the same
+pipeline: each value is ``resolve_algorithm(name, **kwargs).run(graph,
+initial)`` behind a plain callable.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 
 from repro.core.ghkdw import ghkdw_matching
 from repro.core.gpr import GPRConfig, GPRVariant, gpr_matching
@@ -15,67 +36,289 @@ from repro.seq.hopcroft_karp import hkdw_matching, hopcroft_karp_matching
 from repro.seq.pothen_fan import pothen_fan_matching
 from repro.seq.push_relabel import PushRelabelConfig, push_relabel_matching
 
-__all__ = ["ALGORITHMS", "max_bipartite_matching"]
+__all__ = [
+    "ALGORITHMS",
+    "MAXIMUM_ALGORITHMS",
+    "AlgorithmSpec",
+    "ExecutionPlan",
+    "max_bipartite_matching",
+    "resolve_algorithm",
+]
 
 
-def _gpr_variant(variant: GPRVariant) -> Callable[..., MatchingResult]:
-    def run(graph, initial=None, *, config: GPRConfig | None = None, device: VirtualGPU | None = None, **kwargs):
-        if config is None:
-            config = GPRConfig(variant=variant, **kwargs)
-        return gpr_matching(graph, initial=initial, config=config, device=device)
+# --------------------------------------------------------------------- specs
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Registry entry describing one algorithm and what it accepts.
 
-    return run
+    Attributes
+    ----------
+    name:
+        Canonical (lower-case) registry key.
+    runner:
+        ``runner(graph, initial, config, device, **extra) -> MatchingResult``.
+        Runners for algorithms without a config or device simply ignore those
+        positions; argument validation happens in :func:`resolve_algorithm`,
+        never here.
+    maximum:
+        Whether the algorithm guarantees a *maximum* cardinality matching.
+    config_cls:
+        Dataclass of tuning knobs (``GPRConfig``, ``PushRelabelConfig``,
+        ``PDBFSConfig``) or ``None`` for knob-free algorithms.
+    config_overrides:
+        Config fields pinned by the registry entry (e.g. the G-PR variant);
+        they cannot be overridden by keyword arguments.
+    extra_params:
+        Non-config keyword arguments the runner accepts (e.g. ``max_phases``
+        for G-HKDW, ``seed`` for the greedy heuristics).
+    accepts_device:
+        Whether the algorithm runs on the virtual GPU.
+    accepts_initial:
+        Whether the algorithm consumes a warm-start matching (the greedy
+        initialisation heuristics do not — they *produce* one).
+    """
+
+    name: str
+    runner: Callable[..., MatchingResult]
+    maximum: bool = True
+    config_cls: type | None = None
+    config_overrides: Mapping[str, Any] = field(default_factory=dict)
+    extra_params: tuple[str, ...] = ()
+    accepts_device: bool = False
+    accepts_initial: bool = True
+
+    def config_fields(self) -> frozenset[str]:
+        """Config-dataclass fields settable through keyword arguments."""
+        if self.config_cls is None:
+            return frozenset()
+        names = {f.name for f in dataclasses.fields(self.config_cls)}
+        return frozenset(names - set(self.config_overrides))
+
+    def accepted_kwargs(self) -> tuple[str, ...]:
+        """Every keyword :func:`resolve_algorithm` accepts for this entry."""
+        return tuple(sorted(self.config_fields() | set(self.extra_params)))
 
 
-def _pr(graph, initial=None, *, config: PushRelabelConfig | None = None, **kwargs):
-    if config is None and kwargs:
-        config = PushRelabelConfig(**kwargs)
-    return push_relabel_matching(graph, initial=initial, config=config)
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A resolved, reusable recipe for running one algorithm.
+
+    A plan is graph-independent: build it once with
+    :func:`resolve_algorithm`, then :meth:`run` it on any number of graphs.
+    ``device_factory`` (rather than a device instance) is stored so every run
+    of a GPU algorithm gets a fresh virtual device and therefore a clean
+    cost-model ledger.
+    """
+
+    algorithm: str
+    spec: AlgorithmSpec
+    config: Any | None = None
+    device_factory: Callable[[], VirtualGPU] | None = None
+    extra: tuple[tuple[str, Any], ...] = ()
+
+    def run(self, graph: BipartiteGraph, initial: Matching | None = None) -> MatchingResult:
+        """Execute the plan on ``graph``, optionally from a warm-start matching."""
+        if initial is not None and not self.spec.accepts_initial:
+            raise TypeError(
+                f"algorithm {self.algorithm!r} produces an initial matching; "
+                "it does not accept a warm-start"
+            )
+        device = None
+        if self.spec.accepts_device and self.device_factory is not None:
+            device = self.device_factory()
+        return self.spec.runner(graph, initial, self.config, device, **dict(self.extra))
 
 
-def _pdbfs(graph, initial=None, *, config: PDBFSConfig | None = None, **kwargs):
-    if config is None and kwargs:
-        config = PDBFSConfig(**kwargs)
+# ------------------------------------------------------------------- runners
+def _run_gpr(graph, initial, config, device, **_):
+    return gpr_matching(graph, initial=initial, config=config, device=device)
+
+
+def _run_ghkdw(graph, initial, config, device, *, max_phases=None):
+    return ghkdw_matching(graph, initial=initial, device=device, max_phases=max_phases)
+
+
+def _run_pdbfs(graph, initial, config, device, **_):
     return pdbfs_matching(graph, initial=initial, config=config)
 
 
-#: Registry of algorithm name → callable.  Keys are the names accepted by
-#: :func:`max_bipartite_matching` and by the CLI / benchmark harness.
-ALGORITHMS: dict[str, Callable[..., MatchingResult]] = {
-    # the paper's contribution (three variants; "g-pr" is the final configuration)
-    "g-pr": _gpr_variant(GPRVariant.SHRINK),
-    "g-pr-first": _gpr_variant(GPRVariant.FIRST),
-    "g-pr-noshrink": _gpr_variant(GPRVariant.NO_SHRINK),
-    "g-pr-shrink": _gpr_variant(GPRVariant.SHRINK),
-    # GPU comparator
-    "g-hkdw": lambda graph, initial=None, *, device=None, **kw: ghkdw_matching(
-        graph, initial=initial, device=device, **kw
-    ),
-    # multicore comparator
-    "p-dbfs": _pdbfs,
-    # sequential baselines
-    "pr": _pr,
-    "hk": lambda graph, initial=None, **kw: hopcroft_karp_matching(graph, initial=initial),
-    "hkdw": lambda graph, initial=None, **kw: hkdw_matching(graph, initial=initial),
-    "pfp": lambda graph, initial=None, **kw: pothen_fan_matching(graph, initial=initial),
-    # greedy heuristics (not maximum; exposed for initialisation studies)
-    "cheap": lambda graph, initial=None, **kw: cheap_matching(graph, **kw),
-    "karp-sipser": lambda graph, initial=None, **kw: karp_sipser_matching(graph, **kw),
+def _run_pr(graph, initial, config, device, **_):
+    return push_relabel_matching(graph, initial=initial, config=config)
+
+
+def _run_hk(graph, initial, config, device, **_):
+    return hopcroft_karp_matching(graph, initial=initial)
+
+
+def _run_hkdw(graph, initial, config, device, **_):
+    return hkdw_matching(graph, initial=initial)
+
+
+def _run_pfp(graph, initial, config, device, **_):
+    return pothen_fan_matching(graph, initial=initial)
+
+
+def _run_cheap(graph, initial, config, device, *, seed=None):
+    return cheap_matching(graph, seed=seed)
+
+
+def _run_karp_sipser(graph, initial, config, device, *, seed=None):
+    return karp_sipser_matching(graph, seed=seed)
+
+
+def _gpr_spec(name: str, variant: GPRVariant) -> AlgorithmSpec:
+    return AlgorithmSpec(
+        name=name,
+        runner=_run_gpr,
+        config_cls=GPRConfig,
+        config_overrides={"variant": variant},
+        accepts_device=True,
+    )
+
+
+#: Registry of canonical algorithm name → :class:`AlgorithmSpec`.
+SPECS: dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        # the paper's contribution (three variants; "g-pr" is the final configuration)
+        _gpr_spec("g-pr", GPRVariant.SHRINK),
+        _gpr_spec("g-pr-first", GPRVariant.FIRST),
+        _gpr_spec("g-pr-noshrink", GPRVariant.NO_SHRINK),
+        _gpr_spec("g-pr-shrink", GPRVariant.SHRINK),
+        # GPU comparator
+        AlgorithmSpec(
+            name="g-hkdw",
+            runner=_run_ghkdw,
+            extra_params=("max_phases",),
+            accepts_device=True,
+        ),
+        # multicore comparator
+        AlgorithmSpec(name="p-dbfs", runner=_run_pdbfs, config_cls=PDBFSConfig),
+        # sequential baselines
+        AlgorithmSpec(name="pr", runner=_run_pr, config_cls=PushRelabelConfig),
+        AlgorithmSpec(name="hk", runner=_run_hk),
+        AlgorithmSpec(name="hkdw", runner=_run_hkdw),
+        AlgorithmSpec(name="pfp", runner=_run_pfp),
+        # greedy heuristics (not maximum; exposed for initialisation studies)
+        AlgorithmSpec(
+            name="cheap",
+            runner=_run_cheap,
+            maximum=False,
+            extra_params=("seed",),
+            accepts_initial=False,
+        ),
+        AlgorithmSpec(
+            name="karp-sipser",
+            runner=_run_karp_sipser,
+            maximum=False,
+            extra_params=("seed",),
+            accepts_initial=False,
+        ),
+    )
 }
 
 #: Algorithms guaranteed to return a *maximum* matching.
-MAXIMUM_ALGORITHMS = (
-    "g-pr",
-    "g-pr-first",
-    "g-pr-noshrink",
-    "g-pr-shrink",
-    "g-hkdw",
-    "p-dbfs",
-    "pr",
-    "hk",
-    "hkdw",
-    "pfp",
-)
+MAXIMUM_ALGORITHMS = tuple(name for name, spec in SPECS.items() if spec.maximum)
+
+
+# ------------------------------------------------------------------ pipeline
+def resolve_algorithm(
+    name: str,
+    *,
+    config: Any | None = None,
+    device: VirtualGPU | None = None,
+    device_factory: Callable[[], VirtualGPU] | None = None,
+    **kwargs,
+) -> ExecutionPlan:
+    """Resolve an algorithm name and keyword arguments into an :class:`ExecutionPlan`.
+
+    Parameters
+    ----------
+    name:
+        Registry key (case-insensitive), e.g. ``"g-pr"`` or ``"pr"``.
+    config:
+        Pre-built config object; mutually exclusive with config-field
+        keywords.
+    device / device_factory:
+        For GPU algorithms: a virtual device to reuse, or a factory invoked
+        once per :meth:`ExecutionPlan.run` (so every run gets a fresh
+        cost-model ledger).  Mutually exclusive.
+    **kwargs:
+        Config fields (e.g. ``strategy="fix:10"``, ``global_relabel_k=0.7``,
+        ``n_threads=4``) or the algorithm's extra parameters (e.g.
+        ``max_phases``, ``seed``).  Anything else raises ``TypeError`` —
+        uniformly, for every algorithm in the registry.
+
+    Raises
+    ------
+    ValueError
+        Unknown algorithm name.
+    TypeError
+        Unknown keyword arguments, a ``config`` of the wrong type, a
+        ``config`` combined with config-field keywords, or a ``device`` for
+        an algorithm that does not accept one.
+    """
+    key = str(name).strip().lower()
+    if key not in SPECS:
+        raise ValueError(
+            f"unknown algorithm {name!r}; available: {', '.join(sorted(SPECS))}"
+        )
+    spec = SPECS[key]
+
+    if device is not None and device_factory is not None:
+        raise TypeError("pass either device= or device_factory=, not both")
+    if (device is not None or device_factory is not None) and not spec.accepts_device:
+        raise TypeError(f"algorithm {key!r} does not run on a device")
+    if device is not None:
+        def device_factory(_device=device):  # noqa: F811 - deliberate rebinding
+            return _device
+
+    config_fields = spec.config_fields()
+    config_kwargs = {k: v for k, v in kwargs.items() if k in config_fields}
+    extra_kwargs = {k: v for k, v in kwargs.items() if k in spec.extra_params}
+    unknown = sorted(set(kwargs) - set(config_kwargs) - set(extra_kwargs))
+    if unknown:
+        accepted = spec.accepted_kwargs()
+        raise TypeError(
+            f"algorithm {key!r} got unexpected keyword argument(s) {unknown}; "
+            f"accepted: {list(accepted) if accepted else 'none'}"
+        )
+
+    if config is not None:
+        if spec.config_cls is None:
+            raise TypeError(f"algorithm {key!r} does not take a config")
+        if not isinstance(config, spec.config_cls):
+            raise TypeError(
+                f"algorithm {key!r} expects a {spec.config_cls.__name__}, "
+                f"got {type(config).__name__}"
+            )
+        if config_kwargs:
+            raise TypeError(
+                f"pass either config= or config field keyword(s) "
+                f"{sorted(config_kwargs)}, not both"
+            )
+        for field_name, pinned in spec.config_overrides.items():
+            given = getattr(config, field_name)
+            if isinstance(pinned, enum.Enum):
+                try:
+                    given = type(pinned)(given)
+                except ValueError:
+                    pass
+            if given != pinned:
+                raise TypeError(
+                    f"algorithm {key!r} pins {field_name}={pinned!r}; "
+                    f"got a config with {field_name}={getattr(config, field_name)!r}"
+                )
+    elif spec.config_cls is not None:
+        config = spec.config_cls(**{**dict(spec.config_overrides), **config_kwargs})
+
+    return ExecutionPlan(
+        algorithm=key,
+        spec=spec,
+        config=config,
+        device_factory=device_factory,
+        extra=tuple(sorted(extra_kwargs.items())),
+    )
 
 
 def max_bipartite_matching(
@@ -99,9 +342,10 @@ def max_bipartite_matching(
         Optional starting matching; by default every algorithm starts from
         the cheap greedy matching, as in the paper's experiments.
     **kwargs:
-        Forwarded to the algorithm (e.g. ``config=GPRConfig(...)`` or
-        ``device=VirtualGPU(...)`` for the GPU algorithms,
-        ``config=PushRelabelConfig(...)`` for the sequential PR).
+        Forwarded to :func:`resolve_algorithm` — either a pre-built
+        ``config=`` / ``device=``, or individual config fields such as
+        ``strategy="fix:10"`` or ``global_relabel_k=0.7``.  Unknown keywords
+        raise ``TypeError``.
 
     Returns
     -------
@@ -111,6 +355,8 @@ def max_bipartite_matching(
     ------
     ValueError
         For an unknown algorithm name.
+    TypeError
+        For keyword arguments the algorithm does not accept.
 
     Examples
     --------
@@ -121,9 +367,23 @@ def max_bipartite_matching(
     >>> gpu.cardinality == cpu.cardinality
     True
     """
-    key = algorithm.strip().lower()
-    if key not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; available: {', '.join(sorted(ALGORITHMS))}"
-        )
-    return ALGORITHMS[key](graph, initial, **kwargs)
+    return resolve_algorithm(algorithm, **kwargs).run(graph, initial)
+
+
+# ---------------------------------------------------------- legacy registry
+def _registry_callable(key: str) -> Callable[..., MatchingResult]:
+    def run(graph, initial=None, **kwargs):
+        return resolve_algorithm(key, **kwargs).run(graph, initial)
+
+    run.__name__ = f"run_{key.replace('-', '_')}"
+    run.__qualname__ = run.__name__
+    run.__doc__ = f"Dispatch {key!r} through :func:`resolve_algorithm`."
+    return run
+
+
+#: Registry of algorithm name → callable.  Keys are the names accepted by
+#: :func:`max_bipartite_matching` and by the CLI / benchmark harness; the
+#: callables all route through the :func:`resolve_algorithm` pipeline.
+ALGORITHMS: dict[str, Callable[..., MatchingResult]] = {
+    key: _registry_callable(key) for key in SPECS
+}

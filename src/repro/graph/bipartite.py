@@ -14,6 +14,7 @@ arrays.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -130,6 +131,25 @@ class BipartiteGraph:
     def row_degrees(self) -> np.ndarray:
         """Degree of every row vertex."""
         return np.diff(self.row_ptr)
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the graph structure (shape + CSR arrays).
+
+        Two graphs with identical vertex counts and adjacency hash equal
+        regardless of :attr:`name` (so :meth:`with_name` copies share the
+        hash).  Used by :mod:`repro.service` to memoize matching results
+        across repeated graphs.  The digest is cached after the first call —
+        the arrays are immutable.
+        """
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(f"bipartite:{self.n_rows}:{self.n_cols}:".encode("ascii"))
+            for arr in (self.col_ptr, self.col_ind, self.row_ptr, self.row_ind):
+                digest.update(np.ascontiguousarray(arr).tobytes())
+            cached = digest.hexdigest()
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether row ``u`` and column ``v`` are adjacent.

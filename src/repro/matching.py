@@ -153,6 +153,21 @@ class MatchingResult:
     modeled_time: float | None = None
     wall_time: float = 0.0
 
+    def copy(self) -> "MatchingResult":
+        """A deep-enough copy: private matching arrays and counters dict.
+
+        Used by the result caches so a caller mutating a served result can
+        never corrupt the cached entry (or a sibling job's result).
+        """
+        return MatchingResult(
+            algorithm=self.algorithm,
+            matching=self.matching.copy(),
+            cardinality=self.cardinality,
+            counters=dict(self.counters),
+            modeled_time=self.modeled_time,
+            wall_time=self.wall_time,
+        )
+
     @classmethod
     def create(
         cls,

@@ -1,0 +1,39 @@
+"""Batched matching service.
+
+The batch execution layer over the library's single dispatch pipeline
+(:func:`repro.core.api.resolve_algorithm`):
+
+* :class:`~repro.service.jobs.MatchingJob` — one unit of work (graph +
+  algorithm + kwargs + optional warm-start), hashable and picklable;
+* :class:`~repro.service.service.MatchingService` — executes batches of
+  jobs, memoizing results on the graph's content hash and optionally
+  fanning misses out over a ``multiprocessing`` pool;
+* :class:`~repro.service.cache.ResultCache` /
+  :class:`~repro.service.cache.DiskCache` — in-memory LRU and persistent
+  result stores.
+
+Quickstart
+----------
+>>> from repro.generators import uniform_random_bipartite
+>>> from repro.service import MatchingJob, MatchingService
+>>> g = uniform_random_bipartite(200, 200, avg_degree=4, seed=1)
+>>> service = MatchingService()
+>>> report = service.submit_batch([MatchingJob(graph=g, algorithm=a)
+...                                for a in ("g-pr", "pr", "hk")])
+>>> len(set(report.cardinalities())) == 1
+True
+"""
+
+from repro.service.cache import DiskCache, ResultCache
+from repro.service.jobs import BatchReport, JobResult, MatchingJob
+from repro.service.service import MatchingService, execute_job
+
+__all__ = [
+    "BatchReport",
+    "DiskCache",
+    "JobResult",
+    "MatchingJob",
+    "MatchingService",
+    "ResultCache",
+    "execute_job",
+]

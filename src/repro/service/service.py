@@ -1,0 +1,201 @@
+"""Batched matching service: shared dispatch pipeline, caching, worker pool.
+
+The service is the batch execution layer over the
+:func:`repro.core.api.resolve_algorithm` pipeline:
+
+* every job is resolved into an :class:`~repro.core.api.ExecutionPlan`
+  through the same path as :func:`~repro.core.api.max_bipartite_matching`,
+  so batch and serial execution are bit-identical;
+* results are memoized on :meth:`MatchingJob.cache_key` (graph content hash
+  + algorithm + kwargs + warm-start), both across batches (via a
+  :class:`~repro.service.cache.ResultCache` or persistent
+  :class:`~repro.service.cache.DiskCache`) and within a batch (identical
+  jobs are deduplicated and executed once);
+* cache misses run either inline or across a ``multiprocessing`` pool
+  (``workers > 0``), whichever the caller asked for.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, Sequence
+
+from repro.core.api import resolve_algorithm
+from repro.matching import Matching, MatchingResult
+from repro.seq.greedy import cheap_matching, karp_sipser_matching
+from repro.service.cache import DiskCache, ResultCache
+from repro.service.jobs import BatchReport, JobResult, MatchingJob
+
+__all__ = ["MatchingService", "execute_job"]
+
+#: Warm-start heuristic name → matching factory.
+_INITIALIZERS: dict[str, Callable] = {
+    "empty": Matching.empty,
+    "cheap": lambda graph: cheap_matching(graph).matching,
+    "karp-sipser": lambda graph: karp_sipser_matching(graph, seed=0).matching,
+}
+
+
+def execute_job(job: MatchingJob, plan=None) -> MatchingResult:
+    """Run one job through the shared dispatch pipeline.
+
+    This is the single execution path of the service — used both inline and
+    by pool workers — and the function tests monkeypatch to count actual
+    computations.  ``plan`` lets the inline path reuse the
+    :class:`~repro.core.api.ExecutionPlan` already built during batch
+    validation; pool workers resolve their own (plans travel as names +
+    kwargs, which pickle smaller and never carry device closures).
+    """
+    if plan is None:
+        plan = resolve_algorithm(job.algorithm, **job.kwargs)
+    initial = None
+    if job.initial is not None:
+        initial = _INITIALIZERS[job.initial](job.graph)
+    return plan.run(job.graph, initial)
+
+
+def _pool_execute(payload: tuple[int, MatchingJob]) -> tuple[int, MatchingResult]:
+    """Top-level pool target (must be picklable)."""
+    index, job = payload
+    return index, execute_job(job)
+
+
+class MatchingService:
+    """Executes batches of matching jobs with caching and optional parallelism.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` / ``None`` — execute cache misses inline in this process;
+        ``n > 0`` — execute them across a ``multiprocessing`` pool of ``n``
+        workers (the pool is created per batch, so the service object itself
+        stays picklable and state-free between calls).
+    cache:
+        ``True`` (default) — a fresh in-memory :class:`ResultCache`;
+        ``False`` / ``None`` — no caching and no intra-batch deduplication;
+        or a caller-supplied :class:`ResultCache` / :class:`DiskCache` to
+        share across services or processes.
+
+    The cumulative counters ``jobs_submitted`` / ``jobs_executed`` /
+    ``cache_hits`` / ``deduplicated`` aggregate over every batch served by
+    this instance.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 0,
+        cache: bool | ResultCache | DiskCache | None = True,
+        max_cache_entries: int = 1024,
+    ) -> None:
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = int(workers or 0)
+        if cache is True:
+            self.cache: ResultCache | DiskCache | None = ResultCache(max_cache_entries)
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.jobs_submitted = 0
+        self.jobs_executed = 0
+        self.cache_hits = 0
+        self.deduplicated = 0
+
+    # ----------------------------------------------------------------- public
+    def submit(self, job: MatchingJob) -> JobResult:
+        """Execute a single job (one-element batch)."""
+        return self.submit_batch([job]).results[0]
+
+    def submit_batch(self, jobs: Sequence[MatchingJob]) -> BatchReport:
+        """Execute ``jobs`` and return their results in submission order.
+
+        The batch is served in three tiers: cross-batch cache hits,
+        intra-batch duplicates (executed once), and genuine misses (executed
+        inline or on the worker pool).  Invalid jobs — unknown algorithm or
+        keyword arguments — raise before anything executes.
+        """
+        jobs = list(jobs)
+        started = time.perf_counter()
+        # Fail fast on malformed jobs so a bad manifest cannot waste a batch;
+        # the plans are kept and reused by the inline execution path.
+        plans = []
+        for job in jobs:
+            plan = resolve_algorithm(job.algorithm, **job.kwargs)
+            if job.initial is not None and not plan.spec.accepts_initial:
+                raise TypeError(
+                    f"algorithm {plan.algorithm!r} produces an initial matching; "
+                    f"it does not accept the {job.initial!r} warm-start"
+                )
+            plans.append(plan)
+
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending: dict[tuple, list[int]] = {}
+        n_cache_hits = 0
+        for index, job in enumerate(jobs):
+            key = job.cache_key() if self.cache is not None else ("uncached", index)
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                results[index] = JobResult(job=job, result=hit, cached=True, worker="cache")
+                n_cache_hits += 1
+            else:
+                pending.setdefault(key, []).append(index)
+
+        representatives = [(key, indices[0]) for key, indices in pending.items()]
+        executed = self._execute(
+            [(index, jobs[index], plans[index]) for _, index in representatives]
+        )
+
+        n_deduplicated = 0
+        for (key, _), (index, result, worker, seconds) in zip(representatives, executed):
+            if self.cache is not None:
+                self.cache.put(key, result)
+            for position in pending[key]:
+                first = position == index
+                results[position] = JobResult(
+                    job=jobs[position],
+                    # Duplicates get their own copy so sibling results never
+                    # alias each other's (mutable) matching arrays.
+                    result=result if first else result.copy(),
+                    cached=not first,
+                    worker=worker if first else "cache",
+                    seconds=seconds if first else 0.0,
+                )
+                if not first:
+                    n_deduplicated += 1
+
+        self.jobs_submitted += len(jobs)
+        self.jobs_executed += len(representatives)
+        self.cache_hits += n_cache_hits
+        self.deduplicated += n_deduplicated
+        return BatchReport(
+            results=[r for r in results if r is not None],
+            executed=len(representatives),
+            cache_hits=n_cache_hits,
+            deduplicated=n_deduplicated,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    # ---------------------------------------------------------------- workers
+    def _execute(
+        self, payload: list[tuple[int, MatchingJob, object]]
+    ) -> list[tuple[int, MatchingResult, str, float]]:
+        """Run the distinct cache misses, preserving payload order."""
+        if not payload:
+            return []
+        if self.workers and len(payload) > 1:
+            started = time.perf_counter()
+            processes = min(self.workers, len(payload))
+            with multiprocessing.Pool(processes=processes) as pool:
+                outcomes = pool.map(
+                    _pool_execute, [(index, job) for index, job, _ in payload]
+                )
+            # Pool timing is aggregate; attribute the mean to each job.
+            mean = (time.perf_counter() - started) / len(payload)
+            return [(index, result, "pool", mean) for index, result in outcomes]
+        outcomes = []
+        for index, job, plan in payload:
+            started = time.perf_counter()
+            result = execute_job(job, plan)
+            outcomes.append((index, result, "inline", time.perf_counter() - started))
+        return outcomes

@@ -7,7 +7,7 @@ import pytest
 
 from repro import max_bipartite_matching
 from repro.core import GPRConfig, GPRVariant, ghkdw_matching, gpr_matching
-from repro.core.api import ALGORITHMS, MAXIMUM_ALGORITHMS
+from repro.core.api import ALGORITHMS, MAXIMUM_ALGORITHMS, resolve_algorithm
 from repro.core.strategies import AdaptiveStrategy, FixedStrategy, parse_strategy
 from repro.generators import (
     chung_lu_bipartite,
@@ -244,3 +244,64 @@ def test_api_case_insensitive(tiny_graph):
 def test_api_forwards_config(tiny_graph):
     result = max_bipartite_matching(tiny_graph, algorithm="g-pr", strategy="fix:10")
     assert result.counters["strategy"] == "fix-10"
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_api_unknown_kwargs_raise_uniformly(name, tiny_graph):
+    # Regression: the old registry wrappers for "pr" / "p-dbfs" only consumed
+    # **kwargs when building a config, and the no-config algorithms swallowed
+    # them entirely — a typo'd knob was silently ignored.
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        max_bipartite_matching(tiny_graph, algorithm=name, bogus_knob=1)
+
+
+def test_api_config_conflicts_with_field_kwargs(tiny_graph):
+    from repro.seq.push_relabel import PushRelabelConfig
+
+    with pytest.raises(TypeError, match="not both"):
+        max_bipartite_matching(
+            tiny_graph, "pr", config=PushRelabelConfig(), global_relabel_k=0.7
+        )
+    with pytest.raises(TypeError, match="does not take a config"):
+        max_bipartite_matching(tiny_graph, "hk", config=PushRelabelConfig())
+    with pytest.raises(TypeError, match="expects a"):
+        max_bipartite_matching(tiny_graph, "pr", config=GPRConfig())
+
+
+def test_api_config_field_kwargs_build_config(tiny_graph):
+    result = max_bipartite_matching(tiny_graph, "pr", global_relabel_k=0.25)
+    assert result.cardinality == 3
+    result = max_bipartite_matching(tiny_graph, "p-dbfs", n_threads=2)
+    assert result.cardinality == 3
+
+
+def test_api_device_rejected_for_cpu_algorithms(tiny_graph):
+    with pytest.raises(TypeError, match="does not run on a device"):
+        max_bipartite_matching(tiny_graph, "pr", device=VirtualGPU(DeviceSpec().scaled()))
+
+
+def test_resolve_algorithm_plan_is_reusable(tiny_graph, perfect_graph):
+    plan = resolve_algorithm("g-pr", strategy="fix:10")
+    assert plan.algorithm == "g-pr"
+    assert plan.run(tiny_graph).cardinality == 3
+    assert plan.run(perfect_graph).cardinality == 5
+
+
+def test_resolve_algorithm_variant_pinned():
+    # The variant is part of the registry entry, not a free knob.
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        resolve_algorithm("g-pr", variant=GPRVariant.FIRST)
+    plan = resolve_algorithm("g-pr-first")
+    assert plan.config.resolved_variant() == GPRVariant.FIRST
+    # ... and an explicit config cannot smuggle a different variant in.
+    with pytest.raises(TypeError, match="pins"):
+        resolve_algorithm("g-pr-first", config=GPRConfig(variant=GPRVariant.SHRINK))
+    ok = resolve_algorithm("g-pr-first", config=GPRConfig(variant=GPRVariant.FIRST))
+    assert ok.config.resolved_variant() == GPRVariant.FIRST
+
+
+def test_api_warm_start_rejected_for_heuristics(tiny_graph):
+    initial = Matching.empty(tiny_graph)
+    for name in ("cheap", "karp-sipser"):
+        with pytest.raises(TypeError, match="warm-start"):
+            max_bipartite_matching(tiny_graph, name, initial=initial)

@@ -1,0 +1,83 @@
+"""Cross-algorithm invariant suite.
+
+All ten registered maximum-matching algorithms implement the same
+mathematical object, so on any graph they must (a) return a valid matching
+and (b) agree on the cardinality (Theorem 1 of the paper: a matching is
+maximum iff it admits no augmenting path).  This suite sweeps that oracle
+over one instance per generator family plus the degenerate shapes, and over
+the warm-start paths (``initial=`` from cheap and Karp–Sipser), which the
+per-algorithm tests do not cover.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import MAXIMUM_ALGORITHMS, max_bipartite_matching
+from repro.generators import (
+    chung_lu_bipartite,
+    delaunay_like_graph,
+    rmat_bipartite,
+    road_network_graph,
+    uniform_random_bipartite,
+)
+from repro.graph.builders import empty_graph
+from repro.seq.greedy import cheap_matching, karp_sipser_matching
+from repro.seq.verify import is_valid_matching, maximum_matching_cardinality
+
+_FAMILIES = {
+    "mesh-road": lambda: road_network_graph(220, seed=31),
+    "mesh-delaunay": lambda: delaunay_like_graph(200, seed=32),
+    "rmat": lambda: rmat_bipartite(7, edge_factor=6.0, seed=33),
+    "powerlaw": lambda: chung_lu_bipartite(180, 190, avg_degree=5.0, seed=34),
+    "random-bipartite": lambda: uniform_random_bipartite(200, 180, avg_degree=4.0, seed=35),
+    "degenerate-no-edges": lambda: empty_graph(12, 9),
+    "degenerate-zero-rows": lambda: empty_graph(0, 7),
+    "degenerate-zero-cols": lambda: empty_graph(7, 0),
+}
+
+
+@pytest.fixture(params=sorted(_FAMILIES), scope="module")
+def family(request):
+    graph = _FAMILIES[request.param]()
+    return graph, maximum_matching_cardinality(graph)
+
+
+def test_all_maximum_algorithms_agree(family):
+    graph, reference = family
+    cardinalities = {}
+    for name in MAXIMUM_ALGORITHMS:
+        result = max_bipartite_matching(graph, algorithm=name)
+        assert is_valid_matching(graph, result.matching), name
+        assert result.matching.cardinality == result.cardinality, name
+        cardinalities[name] = result.cardinality
+    assert set(cardinalities.values()) == {reference}, cardinalities
+
+
+@pytest.mark.parametrize("name", sorted(MAXIMUM_ALGORITHMS))
+@pytest.mark.parametrize("heuristic", ["cheap", "karp-sipser"])
+def test_warm_start_paths_reach_the_same_maximum(name, heuristic):
+    graph = uniform_random_bipartite(160, 170, avg_degree=4.0, seed=36)
+    reference = maximum_matching_cardinality(graph)
+    if heuristic == "cheap":
+        initial = cheap_matching(graph).matching
+    else:
+        initial = karp_sipser_matching(graph, seed=7).matching
+    assert 0 < initial.cardinality <= reference  # the warm start is a real head start
+    result = max_bipartite_matching(graph, algorithm=name, initial=initial.copy())
+    assert is_valid_matching(graph, result.matching)
+    assert result.cardinality == reference
+
+
+@pytest.mark.parametrize("heuristic", ["cheap", "karp-sipser"])
+def test_warm_start_on_degenerate_graphs(heuristic):
+    graph = empty_graph(5, 8)
+    initial = (
+        cheap_matching(graph).matching
+        if heuristic == "cheap"
+        else karp_sipser_matching(graph, seed=1).matching
+    )
+    for name in MAXIMUM_ALGORITHMS:
+        result = max_bipartite_matching(graph, algorithm=name, initial=initial.copy())
+        assert result.cardinality == 0
+        assert is_valid_matching(graph, result.matching)

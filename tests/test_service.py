@@ -1,0 +1,271 @@
+"""Tests for the batched matching service (repro.service)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.api import MAXIMUM_ALGORITHMS, max_bipartite_matching
+from repro.generators import chung_lu_bipartite, uniform_random_bipartite
+from repro.seq.verify import is_valid_matching
+from repro.service import (
+    BatchReport,
+    DiskCache,
+    MatchingJob,
+    MatchingService,
+    ResultCache,
+)
+import repro.service.service as service_mod
+
+
+@pytest.fixture(scope="module")
+def small_graphs():
+    return [
+        uniform_random_bipartite(120, 130, avg_degree=4.0, seed=21),
+        chung_lu_bipartite(110, 110, avg_degree=5.0, seed=22),
+    ]
+
+
+@pytest.fixture
+def counting_execute(monkeypatch):
+    """Count actual computations by wrapping the service's execution path."""
+    calls = []
+    original = service_mod.execute_job
+
+    def counted(job, plan=None):
+        calls.append(job)
+        return original(job, plan)
+
+    monkeypatch.setattr(service_mod, "execute_job", counted)
+    return calls
+
+
+# --------------------------------------------------------------- batch == serial
+def test_batch_identical_to_serial_for_every_maximum_algorithm(small_graphs):
+    jobs = [
+        MatchingJob(graph=g, algorithm=name)
+        for g in small_graphs
+        for name in MAXIMUM_ALGORITHMS
+    ]
+    report = MatchingService().submit_batch(jobs)
+    assert report.n_jobs == len(jobs)
+    for item in report.results:
+        serial = max_bipartite_matching(item.job.graph, item.job.algorithm)
+        assert item.result.cardinality == serial.cardinality
+        assert is_valid_matching(item.job.graph, item.result.matching)
+        # The pipeline is deterministic, so batch and serial dispatch return
+        # the very same matching, not just the same cardinality.
+        assert np.array_equal(item.result.matching.row_match, serial.matching.row_match)
+
+
+def test_batch_preserves_submission_order(small_graphs):
+    jobs = [
+        MatchingJob(graph=small_graphs[0], algorithm="pr", job_id="a"),
+        MatchingJob(graph=small_graphs[1], algorithm="hk", job_id="b"),
+        MatchingJob(graph=small_graphs[0], algorithm="hk", job_id="c"),
+    ]
+    report = MatchingService().submit_batch(jobs)
+    assert [r.job.job_id for r in report.results] == ["a", "b", "c"]
+
+
+# --------------------------------------------------------------------- caching
+def test_cache_hits_skip_recomputation(small_graphs, counting_execute):
+    jobs = [MatchingJob(graph=g, algorithm="pr") for g in small_graphs]
+    service = MatchingService(cache=True)
+    first = service.submit_batch(jobs)
+    assert len(counting_execute) == len(jobs)
+    assert first.cache_hits == 0 and first.executed == len(jobs)
+
+    second = service.submit_batch(jobs)
+    assert len(counting_execute) == len(jobs)  # call-count probe: no recompute
+    assert second.cache_hits == len(jobs) and second.executed == 0
+    assert second.cardinalities() == first.cardinalities()
+    assert all(r.cached and r.worker == "cache" for r in second.results)
+
+
+def test_identical_jobs_in_one_batch_are_deduplicated(small_graphs, counting_execute):
+    job = MatchingJob(graph=small_graphs[0], algorithm="hk")
+    report = MatchingService().submit_batch([job] * 4)
+    assert len(counting_execute) == 1
+    assert report.executed == 1 and report.deduplicated == 3
+    assert len(set(report.cardinalities())) == 1
+
+
+def test_renamed_graph_shares_cache_entry(small_graphs, counting_execute):
+    g = small_graphs[0]
+    service = MatchingService()
+    service.submit(MatchingJob(graph=g, algorithm="pr"))
+    report = service.submit(MatchingJob(graph=g.with_name("alias"), algorithm="pr"))
+    assert len(counting_execute) == 1
+    assert report.cached
+
+
+def test_no_cache_executes_every_job(small_graphs, counting_execute):
+    jobs = [MatchingJob(graph=small_graphs[0], algorithm="hk")] * 3
+    service = MatchingService(cache=False)
+    report = service.submit_batch(jobs)
+    report2 = service.submit_batch(jobs)
+    assert len(counting_execute) == 6
+    assert report.executed == report2.executed == 3
+    assert report.cache_hits == report.deduplicated == 0
+
+
+def test_distinct_kwargs_and_warm_starts_do_not_collide(small_graphs, counting_execute):
+    g = small_graphs[0]
+    jobs = [
+        MatchingJob(graph=g, algorithm="pr"),
+        MatchingJob(graph=g, algorithm="pr", kwargs={"global_relabel_k": 0.25}),
+        MatchingJob(graph=g, algorithm="pr", initial="karp-sipser"),
+    ]
+    report = MatchingService().submit_batch(jobs)
+    assert report.executed == 3 and len(counting_execute) == 3
+    assert len(set(report.cardinalities())) == 1  # same maximum either way
+
+
+def test_result_cache_lru_eviction():
+    cache = ResultCache(max_entries=2)
+    g = uniform_random_bipartite(30, 30, avg_degree=3.0, seed=5)
+    result = max_bipartite_matching(g, "hk")
+    for key in (("a",), ("b",), ("c",)):
+        cache.put(key, result)
+    assert len(cache) == 2
+    assert cache.get(("a",)) is None  # evicted
+    served = cache.get(("c",))
+    assert served is not result  # defensive copy, not an alias
+    assert served.cardinality == result.cardinality
+
+
+def test_cache_hit_mutation_does_not_corrupt_cache(small_graphs):
+    service = MatchingService()
+    job = MatchingJob(graph=small_graphs[0], algorithm="pr")
+    first = service.submit(job)
+    first.result.matching.row_match[:] = -1  # caller misbehaves
+    second = service.submit(job)
+    assert second.cached
+    assert second.result.cardinality == second.result.matching.cardinality
+    assert is_valid_matching(job.graph, second.result.matching)
+
+
+def test_deduplicated_results_do_not_alias(small_graphs):
+    job = MatchingJob(graph=small_graphs[0], algorithm="hk")
+    report = MatchingService().submit_batch([job, job])
+    a, b = report.results
+    assert a.result.matching.row_match is not b.result.matching.row_match
+    a.result.matching.row_match[:] = -1
+    assert b.result.matching.cardinality == b.result.cardinality
+
+
+def test_disk_cache_persists_across_services(tmp_path, small_graphs):
+    jobs = [MatchingJob(graph=g, algorithm="pfp") for g in small_graphs]
+    first = MatchingService(cache=DiskCache(tmp_path)).submit_batch(jobs)
+    second = MatchingService(cache=DiskCache(tmp_path)).submit_batch(jobs)
+    assert second.executed == 0
+    assert second.cache_hits == len(jobs)
+    assert second.cardinalities() == first.cardinalities()
+
+
+# ----------------------------------------------------------------- worker pool
+def test_worker_pool_agrees_with_inline(small_graphs):
+    jobs = [
+        MatchingJob(graph=g, algorithm=name)
+        for g in small_graphs
+        for name in ("g-pr", "pr", "hk")
+    ]
+    inline = MatchingService(workers=0, cache=False).submit_batch(jobs)
+    pooled = MatchingService(workers=2, cache=False).submit_batch(jobs)
+    assert pooled.cardinalities() == inline.cardinalities()
+    for a, b in zip(pooled.results, inline.results):
+        assert np.array_equal(a.result.matching.row_match, b.result.matching.row_match)
+    assert {r.worker for r in pooled.results} == {"pool"}
+
+
+# ------------------------------------------------------------------ validation
+def test_invalid_jobs_fail_fast_before_executing(small_graphs, counting_execute):
+    good = MatchingJob(graph=small_graphs[0], algorithm="hk")
+    bad = MatchingJob(graph=small_graphs[0], algorithm="pr", kwargs={"bogus": 1})
+    with pytest.raises(TypeError):
+        MatchingService().submit_batch([good, bad])
+    assert counting_execute == []  # nothing ran
+    with pytest.raises(ValueError):
+        MatchingService().submit(MatchingJob(graph=small_graphs[0], algorithm="quantum"))
+
+
+def test_unknown_warm_start_rejected(small_graphs):
+    with pytest.raises(ValueError):
+        MatchingJob(graph=small_graphs[0], initial="magic")
+
+
+def test_job_hash_and_equality_follow_cache_key(small_graphs):
+    g = small_graphs[0]
+    a = MatchingJob(graph=g, algorithm="pr")
+    b = MatchingJob(graph=g.with_name("alias"), algorithm="pr")
+    assert a == b and hash(a) == hash(b)  # docs promise hashability
+    assert len({a, b}) == 1
+    assert a != MatchingJob(graph=g, algorithm="hk")
+
+
+def test_job_rejects_non_mapping_kwargs(small_graphs):
+    with pytest.raises(TypeError, match="mapping"):
+        MatchingJob(graph=small_graphs[0], algorithm="pr", kwargs=5)
+
+
+def test_warm_start_for_heuristic_fails_fast(small_graphs, counting_execute):
+    job = MatchingJob(graph=small_graphs[0], algorithm="cheap", initial="karp-sipser")
+    with pytest.raises(TypeError, match="warm-start"):
+        MatchingService().submit_batch([job])
+    assert counting_execute == []
+
+
+def test_batch_report_accounting(small_graphs):
+    g = small_graphs[0]
+    jobs = [MatchingJob(graph=g, algorithm="hk")] * 3 + [
+        MatchingJob(graph=g, algorithm="pr")
+    ]
+    service = MatchingService()
+    report = service.submit_batch(jobs)
+    assert report.executed + report.cache_hits + report.deduplicated == report.n_jobs
+    assert report.hit_rate == pytest.approx(2 / 4)
+    assert service.jobs_submitted == 4
+    assert service.jobs_executed == 2
+
+
+# ------------------------------------------------------------------------- CLI
+def test_cli_batch_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+
+    manifest = tmp_path / "jobs.jsonl"
+    lines = [
+        {"graph": "roadNet-PA", "algorithm": a, "profile": "tiny", "id": f"j{i}"}
+        for i, a in enumerate(("g-pr", "pr", "hk", "pr"))
+    ]
+    manifest.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    cache_dir = tmp_path / "cache"
+
+    rc = main(["batch", "--manifest", str(manifest), "--cache-dir", str(cache_dir)])
+    assert rc == 0
+    rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    results = [row for row in rows if row["type"] == "result"]
+    summary = rows[-1]
+    assert [r["id"] for r in results] == ["j0", "j1", "j2", "j3"]
+    assert summary["executed"] == 3 and summary["deduplicated"] == 1
+    cards = {r["id"]: r["cardinality"] for r in results}
+    assert len(set(cards.values())) == 1  # all maximum algorithms agree
+
+    # Second CLI invocation: served entirely from the persistent cache.
+    rc = main(["batch", "--manifest", str(manifest), "--cache-dir", str(cache_dir)])
+    assert rc == 0
+    rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    summary = rows[-1]
+    assert summary["cache_hits"] == 4 and summary["hit_rate"] >= 0.5
+    assert {r["cardinality"] for r in rows if r["type"] == "result"} == set(cards.values())
+
+
+def test_cli_batch_rejects_bad_manifest(tmp_path, capsys):
+    from repro.cli import main
+
+    manifest = tmp_path / "bad.jsonl"
+    manifest.write_text('{"algorithm": "g-pr"}\n')  # neither graph nor mtx
+    assert main(["batch", "--manifest", str(manifest)]) == 2
+    assert "error" in capsys.readouterr().err
