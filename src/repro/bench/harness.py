@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.core.api import ExecutionPlan, resolve_algorithm
+from repro.engine import Engine, ExecutionBackend, MatchingJob, create_backend
 from repro.generators.suite import SUITE_SPECS, SuiteInstance, generate_instance
 from repro.gpusim.costmodel import CpuCostModel
 from repro.gpusim.device import DeviceSpec, VirtualGPU
@@ -136,6 +137,13 @@ class SuiteRunner:
         Restrict to these instance names (default: all 28).
     device_factory:
         Factory for the virtual GPU handed to each GPU-algorithm run.
+    backend:
+        Execution backend the runner's :class:`~repro.engine.Engine` uses
+        for :class:`~repro.core.api.ExecutionPlan` algorithms: a name
+        (``"inline"`` default, ``"thread"``, ``"process"``, ``"device"``) or
+        a ready :class:`~repro.engine.backends.ExecutionBackend`.  A
+        ``"device"`` backend pools devices from ``device_factory``, so runs
+        stay on the reference device.
     """
 
     profile: str = "small"
@@ -143,10 +151,21 @@ class SuiteRunner:
     algorithms: dict[str, Callable] | None = None
     instances: Sequence[str] | None = None
     device_factory: Callable[[], VirtualGPU] = field(default=reference_device)
+    backend: "str | ExecutionBackend" = "inline"
 
     def __post_init__(self) -> None:
         if self.algorithms is None:
             self.algorithms = _default_algorithms(self.device_factory)
+        # The runner owns (and close() tears down) a backend built from a
+        # name; a caller-supplied ExecutionBackend instance is left running.
+        self._engine = Engine(
+            backend=create_backend(self.backend, device_factory=self.device_factory),
+            own_backend=isinstance(self.backend, str),
+        )
+
+    def close(self) -> None:
+        """Shut down the runner's engine (pooled backends hold workers)."""
+        self._engine.shutdown()
 
     def specs(self) -> list[SuiteInstance]:
         """The suite instances this runner covers, in Table-I order."""
@@ -159,14 +178,30 @@ class SuiteRunner:
         return [spec for spec in SUITE_SPECS if spec.name in wanted]
 
     def run_instance(self, spec: SuiteInstance) -> InstanceResult:
-        """Run every configured algorithm on one instance."""
+        """Run every configured algorithm on one instance.
+
+        :class:`~repro.core.api.ExecutionPlan` algorithms are submitted to
+        the runner's engine (every plan starts from one common cheap
+        matching, per the paper's protocol) and awaited together; a failing
+        run raises :class:`~repro.engine.handles.JobFailedError` carrying
+        the captured failure (original type, message and traceback on
+        ``.failure``) — the harness wants hard failures loud, not isolated.
+        Legacy ``f(graph, initial)`` callables run inline as before.
+        """
         graph = generate_instance(spec.instance_id, profile=self.profile, seed=self.seed)
         initial = cheap_matching(graph).matching
+        handles = {}
+        for name, algo in self.algorithms.items():
+            if isinstance(algo, ExecutionPlan):
+                handles[name] = self._engine.submit(
+                    MatchingJob(graph=graph, algorithm=algo.algorithm, job_id=name),
+                    plan=algo,
+                    initial_matching=initial.copy(),
+                )
         runs: dict[str, AlgorithmRun] = {}
         maximum = 0
         for name, algo in self.algorithms.items():
-            runner = algo.run if isinstance(algo, ExecutionPlan) else algo
-            result = runner(graph, initial.copy())
+            result = handles[name].result() if name in handles else algo(graph, initial.copy())
             runs[name] = AlgorithmRun(
                 algorithm=name,
                 cardinality=result.cardinality,

@@ -19,9 +19,10 @@ Match an external Matrix-Market file::
     python -m repro.cli run --mtx /path/to/matrix.mtx --algorithm g-pr
 
 Execute a batch of jobs from a JSONL manifest (one job per line, e.g.
-``{"graph": "roadNet-PA", "algorithm": "g-pr", "profile": "tiny"}``)::
+``{"graph": "roadNet-PA", "algorithm": "g-pr", "profile": "tiny"}``) on a
+chosen execution backend::
 
-    python -m repro.cli batch --manifest jobs.jsonl --workers 4
+    python -m repro.cli batch --manifest jobs.jsonl --backend process --workers 4
 """
 
 from __future__ import annotations
@@ -29,13 +30,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.bench.harness import SuiteRunner, modeled_seconds_for
 from repro.bench.reports import build_figure1, build_figure2, build_figure3, build_figure4, build_table1, render_table
-from repro.core.api import ALGORITHMS, max_bipartite_matching
-from repro.generators.suite import generate_instance, instance_names
+from repro.core.api import SPECS, max_bipartite_matching
+from repro.engine import BACKEND_NAMES
+from repro.engine.execution import validate_job_args
+from repro.generators.suite import SCALE_PROFILES, SUITE_SPECS, generate_instance, instance_names
 from repro.graph.io import read_matrix_market
 from repro.service import DiskCache, MatchingJob, MatchingService
+from repro.service.jobs import INITIAL_CHOICES
 
 __all__ = ["main"]
 
@@ -65,17 +70,21 @@ def _load_manifest(path: str, default_profile: str, default_seed: int) -> list[M
 
     Each line is an object with a ``graph`` (suite instance name or id) or
     ``mtx`` (Matrix-Market path), plus optional ``algorithm``, ``kwargs``,
-    ``initial``, ``profile``, ``seed`` and ``id`` fields.  Graph construction
-    is memoized per (source, profile, seed) so a manifest that repeats a
-    graph only generates it once.
+    ``initial``, ``profile``, ``seed`` and ``id`` fields.  Every line is
+    parsed and fully validated — including algorithm name, keyword arguments
+    and warm-start applicability — *before* any graph is built, so a
+    malformed last line costs milliseconds, not the minutes of generation
+    work done for the lines above it.  Graph construction is memoized per
+    (source, profile, seed) so a manifest that repeats a graph only
+    generates it once.
     """
-    graphs: dict[tuple, object] = {}
-    jobs: list[MatchingJob] = []
     if path == "-":
         lines = sys.stdin.read().splitlines()
     else:
         with open(path, "r", encoding="utf-8") as fh:
             lines = fh.read().splitlines()
+    # Phase 1: parse and validate every line (cheap, no graph construction).
+    entries: list[tuple[int, dict, tuple]] = []
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -91,17 +100,54 @@ def _load_manifest(path: str, default_profile: str, default_seed: int) -> list[M
         profile = entry.get("profile", default_profile)
         if not isinstance(profile, str):
             raise ValueError(f"{path}:{lineno}: 'profile' must be a string")
+        if profile not in SCALE_PROFILES:
+            raise ValueError(
+                f"{path}:{lineno}: unknown profile {profile!r}; "
+                f"choose from {sorted(SCALE_PROFILES)}"
+            )
         if not isinstance(entry.get("seed", 0), int):
             raise ValueError(f"{path}:{lineno}: 'seed' must be an integer")
         seed = int(entry.get("seed", default_seed))
+        if not isinstance(entry.get("kwargs", {}), dict):
+            raise ValueError(f"{path}:{lineno}: 'kwargs' must be an object")
+        if entry.get("initial") not in INITIAL_CHOICES:
+            raise ValueError(
+                f"{path}:{lineno}: unknown warm-start {entry.get('initial')!r}; "
+                f"choose from {INITIAL_CHOICES}"
+            )
+        # Resolve the algorithm now (cheap) so a typo'd name, knob or
+        # warm-start on any line is caught before phase 2 generates a graph.
+        try:
+            validate_job_args(
+                entry.get("algorithm", "g-pr"), entry.get("kwargs", {}), entry.get("initial")
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
         if "mtx" in entry:
             source = ("mtx", entry["mtx"])
-            if source not in graphs:
-                graphs[source] = read_matrix_market(entry["mtx"])
+            if not isinstance(entry["mtx"], str) or not Path(entry["mtx"]).is_file():
+                raise ValueError(f"{path}:{lineno}: no such Matrix-Market file {entry['mtx']!r}")
         else:
-            source = ("suite", entry["graph"], profile, seed)
-            if source not in graphs:
-                graphs[source] = generate_instance(entry["graph"], profile=profile, seed=seed)
+            ref = entry["graph"]
+            known = any(spec.name == ref or spec.instance_id == ref for spec in SUITE_SPECS)
+            if not known:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown suite instance {ref!r} "
+                    f"(see `repro.cli list` for the available names)"
+                )
+            source = ("suite", ref, profile, seed)
+        entries.append((lineno, entry, source))
+    # Phase 2: build graphs (memoized) and jobs.
+    graphs: dict[tuple, object] = {}
+    jobs: list[MatchingJob] = []
+    for lineno, entry, source in entries:
+        if source not in graphs:
+            if source[0] == "mtx":
+                graphs[source] = read_matrix_market(entry["mtx"])
+            else:
+                graphs[source] = generate_instance(
+                    entry["graph"], profile=source[2], seed=source[3]
+                )
         try:
             jobs.append(
                 MatchingJob(
@@ -117,6 +163,38 @@ def _load_manifest(path: str, default_profile: str, default_seed: int) -> list[M
     return jobs
 
 
+def _result_row(item) -> dict:
+    row = {
+        "type": "result",
+        "id": item.job.job_id,
+        "graph": item.job.graph.name,
+        "algorithm": item.job.algorithm,
+        "status": item.status,
+        "cardinality": item.result.cardinality if item.result is not None else None,
+        "cached": item.cached,
+        "worker": item.worker,
+        "seconds": round(item.seconds, 6),
+    }
+    if item.error is not None:
+        row["error"] = str(item.error)
+    return row
+
+
+def _summary_row(report, args: argparse.Namespace, backend: str) -> dict:
+    return {
+        "type": "summary",
+        "jobs": report.n_jobs,
+        "executed": report.executed,
+        "cache_hits": report.cache_hits,
+        "deduplicated": report.deduplicated,
+        "failed": report.failed,
+        "hit_rate": round(report.hit_rate, 4),
+        "backend": backend,
+        "workers": args.workers,
+        "wall_seconds": round(report.wall_seconds, 6),
+    }
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     try:
         jobs = _load_manifest(args.manifest, args.profile, args.seed)
@@ -126,45 +204,44 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not jobs:
         print("error: empty manifest", file=sys.stderr)
         return 2
-    cache = None if args.no_cache else DiskCache(args.cache_dir)
-    service = MatchingService(workers=args.workers, cache=cache)
     try:
-        report = service.submit_batch(jobs)
-    except (TypeError, ValueError) as exc:
-        # The service fails fast on unknown algorithms / keyword arguments
-        # before executing anything; surface that as a manifest error.
+        cache = None if args.no_cache else DiskCache(args.cache_dir)
+    except OSError as exc:
+        print(f"error: cannot use cache dir {args.cache_dir!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with MatchingService(workers=args.workers, cache=cache, backend=args.backend) as service:
+            try:
+                report = service.submit_batch(jobs)
+            except (TypeError, ValueError) as exc:
+                # The service fails fast on unknown algorithms / keyword
+                # arguments before executing anything; surface that as a
+                # manifest error.  Runtime failures never raise — they come
+                # back per job with status="failed".
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            backend = service.engine.backend.name
+    except ValueError as exc:  # unknown backend name
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for item in report.results:
+    rows = [_result_row(item) for item in report.results]
+    summary = _summary_row(report, args, backend)
+    try:
+        if args.format == "json":
+            print(json.dumps({"results": rows, "summary": summary}, indent=2))
+        else:
+            for row in rows:
+                print(json.dumps(row))
+            print(json.dumps(summary))
+    except BrokenPipeError:
+        # A truncated consumer (`| head`) must not mask the failure exit code.
+        _silence_stdout()
+    for item in report.failures():
         print(
-            json.dumps(
-                {
-                    "type": "result",
-                    "id": item.job.job_id,
-                    "graph": item.job.graph.name,
-                    "algorithm": item.job.algorithm,
-                    "cardinality": item.result.cardinality,
-                    "cached": item.cached,
-                    "worker": item.worker,
-                    "seconds": round(item.seconds, 6),
-                }
-            )
+            f"job {item.job.job_id or item.job.algorithm!r} {item.status}: {item.error}",
+            file=sys.stderr,
         )
-    print(
-        json.dumps(
-            {
-                "type": "summary",
-                "jobs": report.n_jobs,
-                "executed": report.executed,
-                "cache_hits": report.cache_hits,
-                "deduplicated": report.deduplicated,
-                "hit_rate": round(report.hit_rate, 4),
-                "workers": args.workers,
-                "wall_seconds": round(report.wall_seconds, 6),
-            }
-        )
-    )
-    return 0
+    return 1 if report.failed else 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -172,7 +249,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for name in instance_names():
         print(f"  {name}")
     print("algorithms:")
-    for name in sorted(ALGORITHMS):
+    for name in sorted(SPECS):
+        print(f"  {name}")
+    print("backends:")
+    for name in BACKEND_NAMES:
         print(f"  {name}")
     return 0
 
@@ -223,7 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one algorithm on one graph")
     run.add_argument("--graph", default="amazon0505", help="suite instance name or id")
     run.add_argument("--mtx", default=None, help="path to a Matrix-Market file (overrides --graph)")
-    run.add_argument("--algorithm", default="g-pr", choices=sorted(ALGORITHMS))
+    run.add_argument("--algorithm", default="g-pr", choices=sorted(SPECS))
     run.add_argument("--profile", default="small")
     run.add_argument("--seed", type=int, default=20130421)
     run.set_defaults(func=_cmd_run)
@@ -232,7 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--manifest", required=True,
                        help="path to a JSONL job manifest ('-' for stdin)")
     batch.add_argument("--workers", type=int, default=0,
-                       help="worker-pool size for cache misses (0 = in-process)")
+                       help="worker/device-pool size for cache misses (0 = in-process)")
+    batch.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                       help="execution backend (default: inline, or process when --workers > 0)")
+    batch.add_argument("--format", default="jsonl", choices=("jsonl", "json"),
+                       help="jsonl: one JSON object per line; json: one structured document")
     batch.add_argument("--no-cache", action="store_true",
                        help="disable result caching and intra-batch deduplication")
     batch.add_argument("--cache-dir", default=".repro-cache",
@@ -260,6 +344,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _silence_stdout() -> None:
+    """Redirect stdout to devnull so interpreter shutdown stays quiet after EPIPE."""
+    import os
+
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -267,11 +358,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except BrokenPipeError:
-        # Downstream consumer (e.g. `| head`) closed the pipe; redirect the
-        # remaining output to devnull so interpreter shutdown stays quiet.
-        import os
-
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        # Downstream consumer (e.g. `| head`) closed the pipe mid-report.
+        _silence_stdout()
         return 0
 
 

@@ -13,15 +13,17 @@ steps:
    warm-start matching).  Plans are immutable and graph-independent, so one
    plan can be reused across a whole batch of graphs.
 
-The legacy :data:`ALGORITHMS` mapping is kept as a thin view onto the same
-pipeline: each value is ``resolve_algorithm(name, **kwargs).run(graph,
-initial)`` behind a plain callable.
+The legacy ``ALGORITHMS`` callable mapping is deprecated: accessing it emits
+a :class:`DeprecationWarning` and returns a thin view onto the same pipeline
+(each value is ``resolve_algorithm(name, **kwargs).run(graph, initial)``
+behind a plain callable).  Enumerate :data:`SPECS` instead.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -37,8 +39,8 @@ from repro.seq.pothen_fan import pothen_fan_matching
 from repro.seq.push_relabel import PushRelabelConfig, push_relabel_matching
 
 __all__ = [
-    "ALGORITHMS",
     "MAXIMUM_ALGORITHMS",
+    "SPECS",
     "AlgorithmSpec",
     "ExecutionPlan",
     "max_bipartite_matching",
@@ -76,6 +78,10 @@ class AlgorithmSpec:
     accepts_initial:
         Whether the algorithm consumes a warm-start matching (the greedy
         initialisation heuristics do not — they *produce* one).
+    entropy_seeded:
+        Whether the runner draws from an entropy-seeded RNG when no ``seed``
+        is given, making unseeded runs non-deterministic (Karp–Sipser);
+        consumers like the service's result cache must not memoize such runs.
     """
 
     name: str
@@ -86,6 +92,7 @@ class AlgorithmSpec:
     extra_params: tuple[str, ...] = ()
     accepts_device: bool = False
     accepts_initial: bool = True
+    entropy_seeded: bool = False
 
     def config_fields(self) -> frozenset[str]:
         """Config-dataclass fields settable through keyword arguments."""
@@ -115,6 +122,16 @@ class ExecutionPlan:
     config: Any | None = None
     device_factory: Callable[[], VirtualGPU] | None = None
     extra: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether repeated runs of this plan return identical results.
+
+        ``False`` only for entropy-seeded heuristics run without a ``seed``
+        (each run draws a fresh random sample); such plans must not be
+        memoized or deduplicated.
+        """
+        return not (self.spec.entropy_seeded and dict(self.extra).get("seed") is None)
 
     def run(self, graph: BipartiteGraph, initial: Matching | None = None) -> MatchingResult:
         """Execute the plan on ``graph``, optionally from a warm-start matching."""
@@ -213,6 +230,7 @@ SPECS: dict[str, AlgorithmSpec] = {
             maximum=False,
             extra_params=("seed",),
             accepts_initial=False,
+            entropy_seeded=True,
         ),
     )
 }
@@ -334,7 +352,7 @@ def max_bipartite_matching(
     graph:
         The bipartite graph.
     algorithm:
-        One of :data:`ALGORITHMS` (case-insensitive).  ``"g-pr"`` — the
+        One of :data:`SPECS` (case-insensitive).  ``"g-pr"`` — the
         paper's final configuration (active list + shrinking, adaptive 0.7
         global relabeling) — is the default.  All entries except ``"cheap"``
         and ``"karp-sipser"`` return a maximum cardinality matching.
@@ -370,7 +388,7 @@ def max_bipartite_matching(
     return resolve_algorithm(algorithm, **kwargs).run(graph, initial)
 
 
-# ---------------------------------------------------------- legacy registry
+# ------------------------------------------------- deprecated legacy registry
 def _registry_callable(key: str) -> Callable[..., MatchingResult]:
     def run(graph, initial=None, **kwargs):
         return resolve_algorithm(key, **kwargs).run(graph, initial)
@@ -381,9 +399,22 @@ def _registry_callable(key: str) -> Callable[..., MatchingResult]:
     return run
 
 
-#: Registry of algorithm name → callable.  Keys are the names accepted by
-#: :func:`max_bipartite_matching` and by the CLI / benchmark harness; the
-#: callables all route through the :func:`resolve_algorithm` pipeline.
-ALGORITHMS: dict[str, Callable[..., MatchingResult]] = {
-    key: _registry_callable(key) for key in SPECS
-}
+#: Built on first deprecated access and then reused, so legacy code relying
+#: on a stable mapping (mutation, identity of the wrappers) keeps working.
+_LEGACY_ALGORITHMS: dict[str, Callable[..., MatchingResult]] | None = None
+
+
+def __getattr__(name: str) -> Any:
+    # PEP 562 shim: the old ALGORITHMS callable mapping still works but warns.
+    if name == "ALGORITHMS":
+        warnings.warn(
+            "repro.core.api.ALGORITHMS is deprecated; enumerate SPECS or call "
+            "resolve_algorithm(name, **kwargs).run(graph, initial) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        global _LEGACY_ALGORITHMS
+        if _LEGACY_ALGORITHMS is None:
+            _LEGACY_ALGORITHMS = {key: _registry_callable(key) for key in SPECS}
+        return _LEGACY_ALGORITHMS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,85 @@
+"""Device-pool backend: multiplex jobs over a pool of virtual GPUs.
+
+The paper's premise is one matching computation mapped onto heterogeneous
+substrates; this backend models the GPU-server deployment of that idea — a
+fixed set of :class:`~repro.gpusim.VirtualGPU` instances served by as many
+threads, each job borrowing a device for the duration of its run.  GPU
+algorithms (``g-pr*``, ``g-hkdw``) execute on the borrowed device (its cost
+ledger is reset per job, so modelled timings stay per-job); CPU algorithms
+pass through unchanged, so mixed batches work.
+
+The default device is the full-spec :class:`~repro.gpusim.device.DeviceSpec`
+— the same device :func:`~repro.core.gpr.gpr_matching` creates when given
+none — so results are bit-identical with every other backend.  Pass
+``device_factory`` (e.g. :func:`repro.bench.harness.reference_device`) to
+pool scaled devices instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable
+
+from repro.engine.backends import PooledBackend, run_handle
+from repro.engine.handles import JobHandle
+from repro.gpusim.device import VirtualGPU
+
+__all__ = ["DevicePoolBackend"]
+
+
+class DevicePoolBackend(PooledBackend):
+    """Runs jobs on worker threads, each borrowing a pooled :class:`VirtualGPU`.
+
+    Parameters
+    ----------
+    devices:
+        Pool size (an ``int``), or an explicit iterable of pre-built
+        :class:`VirtualGPU` instances.
+    device_factory:
+        Factory used to build the pool when ``devices`` is an ``int``;
+        defaults to ``VirtualGPU()`` (full-spec device).
+    """
+
+    name = "device"
+
+    def __init__(
+        self,
+        devices: int | Iterable[VirtualGPU] = 2,
+        device_factory: Callable[[], VirtualGPU] | None = None,
+    ) -> None:
+        factory = device_factory or VirtualGPU
+        if isinstance(devices, int):
+            if devices <= 0:
+                raise ValueError("devices must be positive")
+            pool = [factory() for _ in range(devices)]
+        else:
+            pool = list(devices)
+            if not pool:
+                raise ValueError("devices must be a positive count or a non-empty iterable")
+        super().__init__()
+        self.devices = pool
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        for index, device in enumerate(pool):
+            self._queue.put((index, device))
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=len(self.devices), thread_name_prefix="repro-device"
+        )
+
+    def submit(self, handle: JobHandle) -> None:
+        future = self._ensure_pool().submit(self._run, handle)
+        handle._cancel_hook = future.cancel
+
+    def _run(self, handle: JobHandle) -> None:
+        index, device = self._queue.get()
+        try:
+            plan = handle.plan
+            if plan.spec.accepts_device:
+                device.reset()  # per-job ledger: modelled time is this job's alone
+                plan = dataclasses.replace(plan, device_factory=lambda: device)
+            run_handle(handle, f"device:{index}", plan)
+        finally:
+            self._queue.put((index, device))

@@ -1,0 +1,228 @@
+"""The Engine: per-job futures over a pluggable execution backend.
+
+::
+
+    from repro.engine import Engine, MatchingJob
+
+    with Engine(backend="thread", max_workers=4) as engine:
+        handles = engine.map(jobs)
+        for handle in engine.as_completed(handles):
+            if handle.status is JobStatus.OK:
+                use(handle.result())
+            else:
+                log(handle.failure)
+
+The engine validates each job eagerly (unknown algorithms / kwargs raise at
+``submit``), then delegates execution to its backend.  Runtime failures
+never propagate out of the backend — each lands on its own handle — so one
+raising job cannot abort a streamed batch.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import time
+import weakref
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.api import ExecutionPlan
+from repro.engine.backends import ExecutionBackend, InlineBackend, ThreadBackend
+from repro.engine.device import DevicePoolBackend
+from repro.engine.execution import check_warm_start, resolve_job_plan
+from repro.engine.handles import JobHandle
+from repro.engine.job import MatchingJob
+from repro.engine.process import ProcessPoolBackend
+from repro.matching import Matching, MatchingResult
+
+__all__ = ["BACKEND_NAMES", "Engine", "as_completed", "create_backend"]
+
+#: Registry names accepted by :func:`create_backend` / ``Engine(backend=...)``.
+BACKEND_NAMES = ("inline", "thread", "process", "device")
+
+
+def create_backend(
+    backend: str | ExecutionBackend = "inline",
+    *,
+    max_workers: int | None = None,
+    devices=None,
+    device_factory=None,
+) -> ExecutionBackend:
+    """Build an :class:`ExecutionBackend` from a name (or pass one through).
+
+    ``max_workers`` sizes the thread / process pools; ``devices`` (falling
+    back to ``max_workers``) sizes the device pool, whose devices come from
+    ``device_factory`` when given.
+    """
+    if not isinstance(backend, str):
+        if isinstance(backend, ExecutionBackend):
+            return backend
+        raise TypeError(
+            f"backend must be a name or an ExecutionBackend, got {type(backend).__name__}"
+        )
+    key = backend.strip().lower()
+    if key == "inline":
+        return InlineBackend()
+    if key == "thread":
+        return ThreadBackend(max_workers=max_workers)
+    if key == "process":
+        return ProcessPoolBackend(max_workers=max_workers)
+    if key == "device":
+        if devices is None:
+            devices = max_workers if max_workers is not None else 2
+        return DevicePoolBackend(devices=devices, device_factory=device_factory)
+    raise ValueError(f"unknown backend {backend!r}; available: {', '.join(BACKEND_NAMES)}")
+
+
+def as_completed(
+    handles: Iterable[JobHandle], timeout: float | None = None
+) -> Iterator[JobHandle]:
+    """Yield handles as their jobs finish, regardless of submission order.
+
+    Like :func:`concurrent.futures.as_completed`, but failure-isolated: a
+    ``failed`` / ``timeout`` / ``cancelled`` handle is *yielded*, never
+    raised, so a streaming consumer sees every outcome.  ``timeout`` bounds
+    the total wait; expiry raises :class:`TimeoutError` with the undelivered
+    count.
+    """
+    pending = list(handles)
+    ready: _queue.SimpleQueue = _queue.SimpleQueue()
+    for handle in pending:
+        handle._add_done_callback(ready.put)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    for delivered in range(len(pending)):
+        wait = None if deadline is None else deadline - time.monotonic()
+        if wait is not None and wait <= 0:
+            raise TimeoutError(f"{len(pending) - delivered} jobs still pending after {timeout}s")
+        try:
+            yield ready.get(timeout=wait)
+        except _queue.Empty:
+            raise TimeoutError(
+                f"{len(pending) - delivered} jobs still pending after {timeout}s"
+            ) from None
+
+
+class Engine:
+    """Submits :class:`MatchingJob` objects to an execution backend.
+
+    Parameters
+    ----------
+    backend:
+        A backend name (``"inline"`` / ``"thread"`` / ``"process"`` /
+        ``"device"``) or a ready :class:`ExecutionBackend` instance.
+    max_workers / devices / device_factory:
+        Forwarded to :func:`create_backend` when ``backend`` is a name.
+    default_timeout:
+        Deadline in seconds applied to every job submitted without an
+        explicit ``timeout``; ``None`` means no deadline.
+    own_backend:
+        Whether :meth:`shutdown` (and garbage collection of an abandoned
+        engine) tears the backend down.  Default: the engine owns a backend
+        it built from a name; a ready-made :class:`ExecutionBackend`
+        instance is assumed shared and left running.
+    """
+
+    def __init__(
+        self,
+        backend: str | ExecutionBackend = "inline",
+        *,
+        max_workers: int | None = None,
+        devices=None,
+        device_factory=None,
+        default_timeout: float | None = None,
+        own_backend: bool | None = None,
+    ) -> None:
+        self.backend = create_backend(
+            backend,
+            max_workers=max_workers,
+            devices=devices,
+            device_factory=device_factory,
+        )
+        self.default_timeout = default_timeout
+        self.jobs_submitted = 0
+        self._closed = False
+        self._owns_backend = isinstance(backend, str) if own_backend is None else own_backend
+        # Reclaim pooled workers even if the engine is abandoned without an
+        # explicit shutdown() / context exit (backend.shutdown is idempotent).
+        self._finalizer = (
+            weakref.finalize(self, self.backend.shutdown, False) if self._owns_backend else None
+        )
+
+    # ---------------------------------------------------------------- submit
+    def submit(
+        self,
+        job: MatchingJob,
+        *,
+        plan: ExecutionPlan | None = None,
+        timeout: float | None = None,
+        initial_matching: Matching | None = None,
+    ) -> JobHandle:
+        """Validate and schedule one job; returns its :class:`JobHandle`.
+
+        ``plan`` short-circuits resolution with a pre-built
+        :class:`~repro.core.api.ExecutionPlan` (the batch service and the
+        benchmark harness reuse their validation plans this way); it takes
+        precedence over the job's ``algorithm`` / ``kwargs``.
+        ``initial_matching`` overrides the job's named warm-start with an
+        explicit matching.  ``timeout`` is a per-job deadline in seconds: a
+        job that has not started by then is never run, and a result arriving
+        later is discarded and the job marked ``timeout``.
+
+        Invalid jobs (unknown algorithm, unknown kwargs, inapplicable
+        warm-start) raise here, before anything executes; *runtime* errors
+        are captured on the handle instead.
+        """
+        if self._closed:
+            raise RuntimeError("engine is shut down")
+        if plan is None:
+            plan = resolve_job_plan(job)
+        elif initial_matching is None:
+            check_warm_start(plan, job.initial)
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        handle = JobHandle(job, plan, deadline=deadline, initial_matching=initial_matching)
+        self.jobs_submitted += 1
+        self.backend.submit(handle)
+        return handle
+
+    def map(
+        self, jobs: Sequence[MatchingJob], *, timeout: float | None = None
+    ) -> list[JobHandle]:
+        """Submit every job; handles come back in submission order."""
+        return [self.submit(job, timeout=timeout) for job in jobs]
+
+    def run(
+        self,
+        job: MatchingJob,
+        *,
+        plan: ExecutionPlan | None = None,
+        timeout: float | None = None,
+        initial_matching: Matching | None = None,
+    ) -> MatchingResult:
+        """Submit one job and block for its result (raising on failure)."""
+        return self.submit(
+            job, plan=plan, timeout=timeout, initial_matching=initial_matching
+        ).result()
+
+    def as_completed(
+        self, handles: Iterable[JobHandle], *, timeout: float | None = None
+    ) -> Iterator[JobHandle]:
+        """Stream ``handles`` back in completion order (see :func:`as_completed`)."""
+        return as_completed(handles, timeout=timeout)
+
+    # -------------------------------------------------------------- lifecycle
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting submissions; tear the backend down if this engine owns it."""
+        self._closed = True
+        if self._owns_backend:
+            self._finalizer.detach()
+            self.backend.shutdown(wait=wait)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Engine(backend={self.backend.name!r}, jobs_submitted={self.jobs_submitted})"

@@ -1,0 +1,260 @@
+"""Per-job futures: status, captured failures and cancellation.
+
+A :class:`JobHandle` is created by :meth:`repro.engine.Engine.submit` and
+fulfilled by an :class:`~repro.engine.backends.ExecutionBackend`.  Unlike a
+bare :class:`concurrent.futures.Future`, a handle
+
+* carries the resolved :class:`~repro.core.api.ExecutionPlan` alongside the
+  job, so backends never re-resolve algorithms;
+* exposes a typed :class:`JobStatus` (``ok`` / ``failed`` / ``cancelled`` /
+  ``timeout``) instead of an exception-or-result dichotomy;
+* captures runner failures as picklable :class:`JobFailure` records — a
+  raising job never aborts its siblings;
+* enforces an optional deadline: a job that has not *started* by its
+  deadline is never executed, and a result that arrives after the deadline
+  is discarded and the job marked ``timeout``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback as _traceback
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.core.api import ExecutionPlan
+    from repro.engine.job import MatchingJob
+    from repro.matching import Matching, MatchingResult
+
+__all__ = [
+    "JobCancelledError",
+    "JobError",
+    "JobFailedError",
+    "JobFailure",
+    "JobHandle",
+    "JobStatus",
+    "JobTimeoutError",
+]
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of one submitted job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    OK = "ok"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.OK, JobStatus.FAILED, JobStatus.CANCELLED, JobStatus.TIMEOUT)
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Picklable record of an exception raised by a job's runner."""
+
+    exc_type: str
+    message: str
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "JobFailure":
+        return cls(
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.exc_type}: {self.message}"
+
+
+class JobError(Exception):
+    """Base class of the exceptions raised by :meth:`JobHandle.result`."""
+
+
+class JobFailedError(JobError):
+    """The job's runner raised; the original error is in :attr:`failure`."""
+
+    def __init__(self, failure: JobFailure) -> None:
+        super().__init__(str(failure))
+        self.failure = failure
+
+
+class JobCancelledError(JobError):
+    """The job was cancelled before it started."""
+
+
+class JobTimeoutError(JobError):
+    """The job's deadline expired (before or during execution)."""
+
+
+class JobHandle:
+    """Future for one submitted :class:`~repro.engine.job.MatchingJob`.
+
+    Handles are created by the engine and fulfilled by its backend; callers
+    interact with :meth:`wait` / :meth:`result` / :meth:`cancel` and the
+    :attr:`status` / :attr:`failure` / :attr:`worker` / :attr:`seconds`
+    provenance fields.  ``seconds`` is the job's own execution time, measured
+    where the job actually ran (true per-job timing even on a process pool).
+    """
+
+    def __init__(
+        self,
+        job: "MatchingJob",
+        plan: "ExecutionPlan",
+        deadline: float | None = None,
+        initial_matching: "Matching | None" = None,
+    ) -> None:
+        self.job = job
+        self.plan = plan
+        self.deadline = deadline  # absolute time.monotonic() instant, or None
+        self.initial_matching = initial_matching
+        self.worker: str | None = None
+        self.seconds: float = 0.0
+        self._status = JobStatus.PENDING
+        self._result: "MatchingResult | None" = None
+        self._failure: JobFailure | None = None
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._callbacks: list[Callable[["JobHandle"], Any]] = []
+        self._cancel_hook: Callable[[], bool] | None = None
+
+    # ------------------------------------------------------------------ state
+    @property
+    def status(self) -> JobStatus:
+        return self._status
+
+    @property
+    def failure(self) -> JobFailure | None:
+        """The captured error of a ``failed`` / ``timeout`` job, else ``None``."""
+        return self._failure
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def _expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    # ------------------------------------------------------------ transitions
+    def _mark_running(self, worker: str) -> bool:
+        """Backend hook: move PENDING → RUNNING, honouring the deadline.
+
+        Returns ``False`` (and finalises the handle) when the job was
+        cancelled, already finished, or its deadline expired before start.
+        """
+        with self._lock:
+            if self._status is not JobStatus.PENDING:
+                return False
+            if not self._expired():
+                self._status = JobStatus.RUNNING
+                self.worker = worker
+                return True
+        self._finish(
+            JobStatus.TIMEOUT,
+            failure=JobFailure("JobTimeoutError", "deadline expired before the job started"),
+            worker=worker,
+        )
+        return False
+
+    def _finish(
+        self,
+        status: JobStatus,
+        *,
+        result: "MatchingResult | None" = None,
+        failure: JobFailure | None = None,
+        seconds: float = 0.0,
+        worker: str | None = None,
+    ) -> bool:
+        """Backend hook: finalise the handle (idempotent; first writer wins)."""
+        with self._lock:
+            if self._done.is_set():
+                return False
+            if status is JobStatus.OK and self._expired():
+                # The result arrived after the deadline: the caller asked for
+                # an answer by then, so it is discarded, not returned late.
+                status = JobStatus.TIMEOUT
+                failure = JobFailure(
+                    "JobTimeoutError",
+                    f"deadline exceeded after {seconds:.6f}s of execution",
+                )
+                result = None
+            self._status = status
+            self._result = result
+            self._failure = failure
+            self.seconds = seconds
+            if worker is not None:
+                self.worker = worker
+            callbacks = self._callbacks
+            self._callbacks = []
+            self._done.set()
+        for callback in callbacks:
+            callback(self)
+        return True
+
+    def _add_done_callback(self, callback: Callable[["JobHandle"], Any]) -> None:
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    # ----------------------------------------------------------------- public
+    def cancel(self) -> bool:
+        """Cancel the job if it has not started; returns whether it is cancelled."""
+        with self._lock:
+            if self._done.is_set():
+                return self._status is JobStatus.CANCELLED
+            if self._status is JobStatus.RUNNING:
+                return False
+            hook = self._cancel_hook
+        # The hook (a Future.cancel) may run done-callbacks synchronously, so
+        # it must be invoked outside the handle lock.
+        if hook is not None and not hook():
+            return False
+        self._finish(JobStatus.CANCELLED)
+        return True
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal status (or ``timeout`` elapses)."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> "MatchingResult":
+        """The job's :class:`~repro.matching.MatchingResult`.
+
+        Raises
+        ------
+        TimeoutError
+            The job did not finish within ``timeout`` seconds of waiting.
+        JobFailedError
+            The runner raised; the original error is on ``.failure``.
+        JobCancelledError / JobTimeoutError
+            The job was cancelled, or its deadline expired.
+        """
+        if not self.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job.job_id or self.job.algorithm!r} not done after {timeout}s"
+            )
+        if self._status is JobStatus.OK:
+            assert self._result is not None
+            return self._result
+        if self._status is JobStatus.CANCELLED:
+            raise JobCancelledError(f"job {self.job.job_id or self.job.algorithm!r} was cancelled")
+        if self._status is JobStatus.TIMEOUT:
+            raise JobTimeoutError(str(self._failure) if self._failure else "deadline expired")
+        assert self._failure is not None
+        raise JobFailedError(self._failure)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobHandle(job={self.job.job_id or self.job.algorithm!r}, "
+            f"status={self._status.value!r}, worker={self.worker!r})"
+        )

@@ -1,0 +1,104 @@
+"""The job model of the execution engine.
+
+A :class:`MatchingJob` is a self-contained unit of work — graph, algorithm
+name, keyword arguments and an optional warm-start heuristic — that can be
+hashed (for the result cache) and pickled (for the process-pool backend).
+The warm-start is named rather than passed as a
+:class:`~repro.matching.Matching` so jobs stay cheap to hash and so the same
+job produces the same key on every process.
+
+This module is the bottom of the engine's layering: it depends only on the
+graph container.  :mod:`repro.service` re-exports :class:`MatchingJob` for
+backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["INITIAL_CHOICES", "MatchingJob"]
+
+#: Accepted warm-start heuristic names (``None`` means the algorithm default).
+INITIAL_CHOICES = (None, "empty", "cheap", "karp-sipser")
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert a kwargs value into a hashable representative."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = tuple(_freeze(v) for v in value)
+        return tuple(sorted(items)) if isinstance(value, (set, frozenset)) else items
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Config objects and other rich values: fall back to their repr, which is
+    # stable for the library's frozen dataclass configs.
+    return repr(value)
+
+
+@dataclass(frozen=True, eq=False)
+class MatchingJob:
+    """One unit of work for the :class:`~repro.engine.Engine`.
+
+    Attributes
+    ----------
+    graph:
+        The bipartite graph to match.
+    algorithm:
+        Registry name (case-insensitive; canonicalised on construction).
+    kwargs:
+        Keyword arguments forwarded to
+        :func:`repro.core.api.resolve_algorithm` (config fields, ``seed``,
+        ``max_phases``, ...).
+    initial:
+        Warm-start heuristic: ``None`` (algorithm default), ``"empty"``,
+        ``"cheap"`` or ``"karp-sipser"``.
+    job_id:
+        Optional caller-supplied identifier, echoed back in results.
+    """
+
+    graph: BipartiteGraph
+    algorithm: str = "g-pr"
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    initial: str | None = None
+    job_id: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "algorithm", str(self.algorithm).strip().lower())
+        if not isinstance(self.kwargs, Mapping):
+            raise TypeError(
+                f"kwargs must be a mapping, got {type(self.kwargs).__name__}"
+            )
+        object.__setattr__(self, "kwargs", dict(self.kwargs))
+        if self.initial not in INITIAL_CHOICES:
+            raise ValueError(
+                f"unknown warm-start {self.initial!r}; choose from {INITIAL_CHOICES}"
+            )
+
+    # Identity follows the cache key (plus the caller's job_id), not the raw
+    # fields — the dataclass-generated __eq__/__hash__ would trip over the
+    # graph's numpy arrays and the kwargs dict.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchingJob):
+            return NotImplemented
+        return self.cache_key() == other.cache_key() and self.job_id == other.job_id
+
+    def __hash__(self) -> int:
+        return hash((self.cache_key(), self.job_id))
+
+    def cache_key(self) -> tuple:
+        """Key identifying the *outcome* of this job: structure + dispatch args.
+
+        The graph enters through :meth:`BipartiteGraph.content_hash`, so two
+        jobs on structurally identical graphs (even renamed copies) share a
+        key; ``job_id`` never influences it.
+        """
+        return (
+            self.graph.content_hash(),
+            self.algorithm,
+            _freeze(self.kwargs),
+            self.initial,
+        )

@@ -1,0 +1,111 @@
+"""Process-pool backend: a persistent pool that ships resolved plans.
+
+Improvements over the service's original per-batch ``multiprocessing.Pool``:
+
+* the pool is **persistent** — created lazily on first submit and reused
+  across batches, so worker start-up is paid once per engine, not per batch;
+* workers receive the already-resolved
+  :class:`~repro.core.api.ExecutionPlan` instead of re-resolving the
+  algorithm and rebuilding its config per job;
+* timings are **true per-job** — measured around the job inside the worker —
+  rather than the pool-mean attribution the old service reported.
+
+Plans built from a job's name + kwargs are picklable (runners are
+module-level functions, configs are frozen dataclasses, and such plans carry
+no device closure).  A plan with a caller-supplied ``device_factory``
+closure is not; the pickling error is captured on the handle as an ordinary
+job failure rather than aborting the batch.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any
+
+from repro.core.api import ExecutionPlan
+from repro.engine import execution
+from repro.engine.backends import PooledBackend
+from repro.engine.handles import JobFailure, JobHandle, JobStatus
+from repro.engine.job import MatchingJob
+
+__all__ = ["ProcessPoolBackend"]
+
+
+def _process_worker(
+    job: MatchingJob, plan: ExecutionPlan, initial_matching: Any, deadline: float | None
+) -> tuple[Any, float, bool]:
+    """Top-level worker target (must be picklable).
+
+    Returns ``(result, seconds, expired)``.  ``deadline`` is an absolute
+    :func:`time.monotonic` instant — comparable across processes on the same
+    machine — checked here so a job whose deadline passed while queued in the
+    executor is never executed, matching the in-process backends.
+    """
+    if deadline is not None and time.monotonic() > deadline:
+        return None, 0.0, True
+    started = time.perf_counter()
+    result = execution.execute_job(job, plan, initial_matching)
+    return result, time.perf_counter() - started, False
+
+
+class ProcessPoolBackend(PooledBackend):
+    """Executes jobs on a persistent :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    The parent cannot observe a worker picking a job up, so handles stay
+    ``pending`` until completion (there is no ``running`` phase to read);
+    ``cancel()`` therefore succeeds exactly while the executor has not
+    started the future.  Deadlines are still enforced on both sides of the
+    queue: at submit time here, and before execution inside the worker.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None, mp_context: Any = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        super().__init__()
+        self.max_workers = max_workers
+        self._mp_context = mp_context
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.max_workers, mp_context=self._mp_context)
+
+    def submit(self, handle: JobHandle) -> None:
+        if handle._expired():
+            handle._finish(
+                JobStatus.TIMEOUT,
+                failure=JobFailure("JobTimeoutError", "deadline expired before the job started"),
+                worker=self.name,
+            )
+            return
+        future = self._ensure_pool().submit(
+            _process_worker, handle.job, handle.plan, handle.initial_matching, handle.deadline
+        )
+        handle._cancel_hook = future.cancel
+        future.add_done_callback(functools.partial(self._complete, handle))
+
+    def _complete(self, handle: JobHandle, future: Future) -> None:
+        if future.cancelled():
+            handle._finish(JobStatus.CANCELLED, worker=self.name)
+            return
+        exc = future.exception()
+        if exc is not None:
+            # Runner errors and payload pickling errors both land here; either
+            # way the failure stays on this handle and siblings are untouched.
+            handle._finish(
+                JobStatus.FAILED,
+                failure=JobFailure.from_exception(exc),
+                worker=self.name,
+            )
+            return
+        result, seconds, expired = future.result()
+        if expired:
+            handle._finish(
+                JobStatus.TIMEOUT,
+                failure=JobFailure("JobTimeoutError", "deadline expired before the job started"),
+                worker=self.name,
+            )
+            return
+        handle._finish(JobStatus.OK, result=result, seconds=seconds, worker=self.name)

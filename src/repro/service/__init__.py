@@ -1,13 +1,15 @@
 """Batched matching service.
 
-The batch execution layer over the library's single dispatch pipeline
-(:func:`repro.core.api.resolve_algorithm`):
+A thin caching facade over the execution engine (:mod:`repro.engine`):
 
-* :class:`~repro.service.jobs.MatchingJob` — one unit of work (graph +
-  algorithm + kwargs + optional warm-start), hashable and picklable;
+* :class:`~repro.engine.job.MatchingJob` — one unit of work (graph +
+  algorithm + kwargs + optional warm-start), hashable and picklable
+  (re-exported here);
 * :class:`~repro.service.service.MatchingService` — executes batches of
-  jobs, memoizing results on the graph's content hash and optionally
-  fanning misses out over a ``multiprocessing`` pool;
+  jobs on an :class:`~repro.engine.Engine`, memoizing results on the
+  graph's content hash, deduplicating identical jobs within a batch, and
+  isolating per-job failures (``status="failed"`` instead of a batch-wide
+  exception);
 * :class:`~repro.service.cache.ResultCache` /
   :class:`~repro.service.cache.DiskCache` — in-memory LRU and persistent
   result stores.

@@ -1,124 +1,53 @@
 """Job and result containers for the batched matching service.
 
-A :class:`MatchingJob` is a self-contained unit of work — graph, algorithm
-name, keyword arguments and an optional warm-start heuristic — that can be
-hashed (for the result cache) and pickled (for the worker pool).  The
-warm-start is named rather than passed as a :class:`~repro.matching.Matching`
-so jobs stay cheap to hash and so the same job produces the same key on every
-process.
+:class:`MatchingJob` lives in :mod:`repro.engine.job` (the engine is the
+base execution layer) and is re-exported here for backwards compatibility.
+This module keeps the service-level containers: :class:`JobResult` — one
+job's outcome with provenance and per-job status — and :class:`BatchReport`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from dataclasses import dataclass
 
-from repro.graph.bipartite import BipartiteGraph
+from repro.engine.handles import JobFailure
+from repro.engine.job import INITIAL_CHOICES, MatchingJob
 from repro.matching import MatchingResult
 
 __all__ = ["BatchReport", "INITIAL_CHOICES", "JobResult", "MatchingJob"]
-
-#: Accepted warm-start heuristic names (``None`` means the algorithm default).
-INITIAL_CHOICES = (None, "empty", "cheap", "karp-sipser")
-
-
-def _freeze(value: Any) -> Any:
-    """Recursively convert a kwargs value into a hashable representative."""
-    if isinstance(value, Mapping):
-        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
-    if isinstance(value, (list, tuple, set, frozenset)):
-        items = tuple(_freeze(v) for v in value)
-        return tuple(sorted(items)) if isinstance(value, (set, frozenset)) else items
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    # Config objects and other rich values: fall back to their repr, which is
-    # stable for the library's frozen dataclass configs.
-    return repr(value)
-
-
-@dataclass(frozen=True, eq=False)
-class MatchingJob:
-    """One unit of work for the :class:`~repro.service.MatchingService`.
-
-    Attributes
-    ----------
-    graph:
-        The bipartite graph to match.
-    algorithm:
-        Registry name (case-insensitive; canonicalised on construction).
-    kwargs:
-        Keyword arguments forwarded to
-        :func:`repro.core.api.resolve_algorithm` (config fields, ``seed``,
-        ``max_phases``, ...).
-    initial:
-        Warm-start heuristic: ``None`` (algorithm default), ``"empty"``,
-        ``"cheap"`` or ``"karp-sipser"``.
-    job_id:
-        Optional caller-supplied identifier, echoed back in results.
-    """
-
-    graph: BipartiteGraph
-    algorithm: str = "g-pr"
-    kwargs: Mapping[str, Any] = field(default_factory=dict)
-    initial: str | None = None
-    job_id: str | None = None
-
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "algorithm", str(self.algorithm).strip().lower())
-        if not isinstance(self.kwargs, Mapping):
-            raise TypeError(
-                f"kwargs must be a mapping, got {type(self.kwargs).__name__}"
-            )
-        object.__setattr__(self, "kwargs", dict(self.kwargs))
-        if self.initial not in INITIAL_CHOICES:
-            raise ValueError(
-                f"unknown warm-start {self.initial!r}; choose from {INITIAL_CHOICES}"
-            )
-
-    # Identity follows the cache key (plus the caller's job_id), not the raw
-    # fields — the dataclass-generated __eq__/__hash__ would trip over the
-    # graph's numpy arrays and the kwargs dict.
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, MatchingJob):
-            return NotImplemented
-        return self.cache_key() == other.cache_key() and self.job_id == other.job_id
-
-    def __hash__(self) -> int:
-        return hash((self.cache_key(), self.job_id))
-
-    def cache_key(self) -> tuple:
-        """Key identifying the *outcome* of this job: structure + dispatch args.
-
-        The graph enters through :meth:`BipartiteGraph.content_hash`, so two
-        jobs on structurally identical graphs (even renamed copies) share a
-        key; ``job_id`` never influences it.
-        """
-        return (
-            self.graph.content_hash(),
-            self.algorithm,
-            _freeze(self.kwargs),
-            self.initial,
-        )
 
 
 @dataclass(frozen=True)
 class JobResult:
     """Outcome of one job, with provenance.
 
-    ``cached`` tells whether the result was served from the cache (or
-    deduplicated against an identical job in the same batch) instead of being
-    recomputed; ``worker`` records where the computation ran (``"inline"``,
-    ``"pool"``, or ``"cache"``).
+    ``status`` is ``"ok"`` for a computed (or cached) result, else the
+    terminal :class:`~repro.engine.handles.JobStatus` value (``"failed"`` /
+    ``"cancelled"`` / ``"timeout"``) with the captured ``error``; failed jobs
+    carry ``result=None`` and never abort their batch.  ``cached`` tells
+    whether the result was served without recomputation; ``worker`` records
+    where the computation ran (``"inline"``, ``"thread"``, ``"process"``,
+    ``"device:N"``), or ``"cache"`` for a cross-batch cache hit, or
+    ``"dedup"`` for a job that piggybacked on an identical job in the same
+    batch.
     """
 
     job: MatchingJob
-    result: MatchingResult
+    result: MatchingResult | None
     cached: bool
     worker: str
     seconds: float = 0.0
+    status: str = "ok"
+    error: JobFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def cardinality(self) -> int:
+        if self.result is None:
+            raise ValueError(f"job {self.job.job_id!r} has no result (status={self.status!r})")
         return self.result.cardinality
 
 
@@ -127,9 +56,11 @@ class BatchReport:
     """All results of one :meth:`MatchingService.submit_batch` call.
 
     ``results`` preserves the submission order.  ``executed`` counts actual
-    algorithm runs; ``cache_hits`` the jobs served from the cross-batch
-    cache; ``deduplicated`` the jobs that piggybacked on an identical job in
-    the same batch.  ``executed + cache_hits + deduplicated == n_jobs``.
+    algorithm runs (including failed attempts); ``cache_hits`` the jobs
+    served from the cross-batch cache; ``deduplicated`` the jobs that
+    piggybacked on an identical job in the same batch; ``failed`` the jobs
+    whose status is not ``"ok"``.  ``executed + cache_hits + deduplicated ==
+    n_jobs``.
     """
 
     results: list[JobResult]
@@ -137,10 +68,15 @@ class BatchReport:
     cache_hits: int
     deduplicated: int
     wall_seconds: float
+    failed: int = 0
 
     @property
     def n_jobs(self) -> int:
         return len(self.results)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.failed == 0
 
     @property
     def hit_rate(self) -> float:
@@ -149,6 +85,10 @@ class BatchReport:
             return 0.0
         return (self.cache_hits + self.deduplicated) / len(self.results)
 
-    def cardinalities(self) -> list[int]:
-        """Matching cardinalities in submission order."""
-        return [r.result.cardinality for r in self.results]
+    def failures(self) -> list[JobResult]:
+        """The non-``ok`` results, in submission order."""
+        return [r for r in self.results if not r.ok]
+
+    def cardinalities(self) -> list[int | None]:
+        """Matching cardinalities in submission order (``None`` for failed jobs)."""
+        return [r.result.cardinality if r.result is not None else None for r in self.results]

@@ -1,7 +1,8 @@
-"""Batched matching service: shared dispatch pipeline, caching, worker pool.
+"""Batched matching service: a caching facade over the execution engine.
 
-The service is the batch execution layer over the
-:func:`repro.core.api.resolve_algorithm` pipeline:
+The service keeps the batch-level concerns — cross-batch result caching,
+intra-batch deduplication, accounting — and delegates all execution to a
+:class:`repro.engine.Engine`:
 
 * every job is resolved into an :class:`~repro.core.api.ExecutionPlan`
   through the same path as :func:`~repro.core.api.max_bipartite_matching`,
@@ -11,54 +12,23 @@ The service is the batch execution layer over the
   :class:`~repro.service.cache.ResultCache` or persistent
   :class:`~repro.service.cache.DiskCache`) and within a batch (identical
   jobs are deduplicated and executed once);
-* cache misses run either inline or across a ``multiprocessing`` pool
-  (``workers > 0``), whichever the caller asked for.
+* cache misses run on the engine's backend — inline, thread pool,
+  persistent process pool, or a virtual-GPU device pool — and a job whose
+  runner raises is reported as ``status="failed"`` with its captured error
+  while its siblings complete normally.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from typing import Callable, Sequence
+from typing import Sequence
 
-from repro.core.api import resolve_algorithm
-from repro.matching import Matching, MatchingResult
-from repro.seq.greedy import cheap_matching, karp_sipser_matching
+from repro.engine import Engine, ExecutionBackend, JobStatus
+from repro.engine.execution import execute_job, resolve_job_plan
 from repro.service.cache import DiskCache, ResultCache
 from repro.service.jobs import BatchReport, JobResult, MatchingJob
 
 __all__ = ["MatchingService", "execute_job"]
-
-#: Warm-start heuristic name → matching factory.
-_INITIALIZERS: dict[str, Callable] = {
-    "empty": Matching.empty,
-    "cheap": lambda graph: cheap_matching(graph).matching,
-    "karp-sipser": lambda graph: karp_sipser_matching(graph, seed=0).matching,
-}
-
-
-def execute_job(job: MatchingJob, plan=None) -> MatchingResult:
-    """Run one job through the shared dispatch pipeline.
-
-    This is the single execution path of the service — used both inline and
-    by pool workers — and the function tests monkeypatch to count actual
-    computations.  ``plan`` lets the inline path reuse the
-    :class:`~repro.core.api.ExecutionPlan` already built during batch
-    validation; pool workers resolve their own (plans travel as names +
-    kwargs, which pickle smaller and never carry device closures).
-    """
-    if plan is None:
-        plan = resolve_algorithm(job.algorithm, **job.kwargs)
-    initial = None
-    if job.initial is not None:
-        initial = _INITIALIZERS[job.initial](job.graph)
-    return plan.run(job.graph, initial)
-
-
-def _pool_execute(payload: tuple[int, MatchingJob]) -> tuple[int, MatchingResult]:
-    """Top-level pool target (must be picklable)."""
-    index, job = payload
-    return index, execute_job(job)
 
 
 class MatchingService:
@@ -68,18 +38,26 @@ class MatchingService:
     ----------
     workers:
         ``0`` / ``None`` — execute cache misses inline in this process;
-        ``n > 0`` — execute them across a ``multiprocessing`` pool of ``n``
-        workers (the pool is created per batch, so the service object itself
-        stays picklable and state-free between calls).
+        ``n > 0`` — execute them on a persistent pool of ``n`` workers
+        (process pool unless ``backend`` says otherwise).
     cache:
         ``True`` (default) — a fresh in-memory :class:`ResultCache`;
         ``False`` / ``None`` — no caching and no intra-batch deduplication;
         or a caller-supplied :class:`ResultCache` / :class:`DiskCache` to
         share across services or processes.
+    backend:
+        Execution backend name (``"inline"`` / ``"thread"`` / ``"process"``
+        / ``"device"``) or a ready
+        :class:`~repro.engine.backends.ExecutionBackend`.  Default: derived
+        from ``workers`` (``0`` → inline, ``n > 0`` → process pool).
+    engine:
+        A caller-owned :class:`~repro.engine.Engine` to execute on, mutually
+        exclusive with ``backend``; the service will not shut it down.
 
     The cumulative counters ``jobs_submitted`` / ``jobs_executed`` /
-    ``cache_hits`` / ``deduplicated`` aggregate over every batch served by
-    this instance.
+    ``cache_hits`` / ``deduplicated`` / ``jobs_failed`` aggregate over every
+    batch served by this instance.  Services owning a pooled backend should
+    be closed (:meth:`close` or ``with MatchingService(...) as service:``).
     """
 
     def __init__(
@@ -87,10 +65,22 @@ class MatchingService:
         workers: int | None = 0,
         cache: bool | ResultCache | DiskCache | None = True,
         max_cache_entries: int = 1024,
+        backend: str | ExecutionBackend | None = None,
+        engine: Engine | None = None,
     ) -> None:
         if workers is not None and workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = int(workers or 0)
+        if engine is not None:
+            if backend is not None:
+                raise TypeError("pass either engine= or backend=, not both")
+            self.engine = engine
+            self._owns_engine = False
+        else:
+            if backend is None:
+                backend = "process" if self.workers else "inline"
+            self.engine = Engine(backend=backend, max_workers=self.workers or None)
+            self._owns_engine = True
         if cache is True:
             self.cache: ResultCache | DiskCache | None = ResultCache(max_cache_entries)
         elif cache is False or cache is None:
@@ -101,6 +91,7 @@ class MatchingService:
         self.jobs_executed = 0
         self.cache_hits = 0
         self.deduplicated = 0
+        self.jobs_failed = 0
 
     # ----------------------------------------------------------------- public
     def submit(self, job: MatchingJob) -> JobResult:
@@ -112,29 +103,31 @@ class MatchingService:
 
         The batch is served in three tiers: cross-batch cache hits,
         intra-batch duplicates (executed once), and genuine misses (executed
-        inline or on the worker pool).  Invalid jobs — unknown algorithm or
-        keyword arguments — raise before anything executes.
+        on the engine's backend).  Invalid jobs — unknown algorithm or
+        keyword arguments — raise before anything executes; *runtime*
+        failures are isolated per job (``status="failed"`` with the captured
+        error) and never abort the batch.
         """
         jobs = list(jobs)
         started = time.perf_counter()
         # Fail fast on malformed jobs so a bad manifest cannot waste a batch;
-        # the plans are kept and reused by the inline execution path.
-        plans = []
-        for job in jobs:
-            plan = resolve_algorithm(job.algorithm, **job.kwargs)
-            if job.initial is not None and not plan.spec.accepts_initial:
-                raise TypeError(
-                    f"algorithm {plan.algorithm!r} produces an initial matching; "
-                    f"it does not accept the {job.initial!r} warm-start"
-                )
-            plans.append(plan)
+        # the plans are kept and shipped with each submission so backends
+        # never re-resolve.
+        plans = [resolve_job_plan(job) for job in jobs]
 
         results: list[JobResult | None] = [None] * len(jobs)
         pending: dict[tuple, list[int]] = {}
+        uncacheable_keys: set[tuple] = set()
         n_cache_hits = 0
         for index, job in enumerate(jobs):
-            key = job.cache_key() if self.cache is not None else ("uncached", index)
-            hit = self.cache.get(key) if self.cache is not None else None
+            # Non-deterministic plans (entropy-seeded heuristics without a
+            # seed) draw a fresh sample per run: memoizing or deduplicating
+            # them would silently replace independent samples with one.
+            cacheable = self.cache is not None and plans[index].deterministic
+            key = job.cache_key() if cacheable else ("uncached", index)
+            if not cacheable:
+                uncacheable_keys.add(key)
+            hit = self.cache.get(key) if cacheable else None
             if hit is not None:
                 results[index] = JobResult(job=job, result=hit, cached=True, worker="cache")
                 n_cache_hits += 1
@@ -142,24 +135,34 @@ class MatchingService:
                 pending.setdefault(key, []).append(index)
 
         representatives = [(key, indices[0]) for key, indices in pending.items()]
-        executed = self._execute(
-            [(index, jobs[index], plans[index]) for _, index in representatives]
-        )
+        handles = [
+            self.engine.submit(jobs[index], plan=plans[index])
+            for _, index in representatives
+        ]
+        for handle in handles:
+            handle.wait()
 
         n_deduplicated = 0
-        for (key, _), (index, result, worker, seconds) in zip(representatives, executed):
-            if self.cache is not None:
+        n_failed = 0
+        for (key, _), handle in zip(representatives, handles):
+            ok = handle.status is JobStatus.OK
+            result = handle.result() if ok else None
+            if ok and self.cache is not None and key not in uncacheable_keys:
                 self.cache.put(key, result)
             for position in pending[key]:
-                first = position == index
+                first = position == pending[key][0]
+                if not ok:
+                    n_failed += 1
                 results[position] = JobResult(
                     job=jobs[position],
                     # Duplicates get their own copy so sibling results never
                     # alias each other's (mutable) matching arrays.
-                    result=result if first else result.copy(),
-                    cached=not first,
-                    worker=worker if first else "cache",
-                    seconds=seconds if first else 0.0,
+                    result=result if first else (result.copy() if result is not None else None),
+                    cached=not first and ok,
+                    worker=(handle.worker or self.engine.backend.name) if first else "dedup",
+                    seconds=handle.seconds if first else 0.0,
+                    status="ok" if ok else handle.status.value,
+                    error=handle.failure,
                 )
                 if not first:
                     n_deduplicated += 1
@@ -168,34 +171,24 @@ class MatchingService:
         self.jobs_executed += len(representatives)
         self.cache_hits += n_cache_hits
         self.deduplicated += n_deduplicated
+        self.jobs_failed += n_failed
         return BatchReport(
             results=[r for r in results if r is not None],
             executed=len(representatives),
             cache_hits=n_cache_hits,
             deduplicated=n_deduplicated,
             wall_seconds=time.perf_counter() - started,
+            failed=n_failed,
         )
 
-    # ---------------------------------------------------------------- workers
-    def _execute(
-        self, payload: list[tuple[int, MatchingJob, object]]
-    ) -> list[tuple[int, MatchingResult, str, float]]:
-        """Run the distinct cache misses, preserving payload order."""
-        if not payload:
-            return []
-        if self.workers and len(payload) > 1:
-            started = time.perf_counter()
-            processes = min(self.workers, len(payload))
-            with multiprocessing.Pool(processes=processes) as pool:
-                outcomes = pool.map(
-                    _pool_execute, [(index, job) for index, job, _ in payload]
-                )
-            # Pool timing is aggregate; attribute the mean to each job.
-            mean = (time.perf_counter() - started) / len(payload)
-            return [(index, result, "pool", mean) for index, result in outcomes]
-        outcomes = []
-        for index, job, plan in payload:
-            started = time.perf_counter()
-            result = execute_job(job, plan)
-            outcomes.append((index, result, "inline", time.perf_counter() - started))
-        return outcomes
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the service's engine (no-op for a caller-owned engine)."""
+        if self._owns_engine:
+            self.engine.shutdown()
+
+    def __enter__(self) -> "MatchingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

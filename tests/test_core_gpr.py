@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import max_bipartite_matching
 from repro.core import GPRConfig, GPRVariant, ghkdw_matching, gpr_matching
-from repro.core.api import ALGORITHMS, MAXIMUM_ALGORITHMS, resolve_algorithm
+from repro.core.api import MAXIMUM_ALGORITHMS, SPECS, resolve_algorithm
 from repro.core.strategies import AdaptiveStrategy, FixedStrategy, parse_strategy
 from repro.generators import (
     chung_lu_bipartite,
@@ -221,7 +220,25 @@ def test_api_unknown_algorithm(tiny_graph):
 
 def test_api_algorithm_registry_complete():
     for name in MAXIMUM_ALGORITHMS:
-        assert name in ALGORITHMS
+        assert name in SPECS
+
+
+def test_legacy_algorithms_mapping_is_deprecated(tiny_graph):
+    import repro.core.api as api_module
+
+    with pytest.warns(DeprecationWarning, match="ALGORITHMS is deprecated"):
+        legacy = api_module.ALGORITHMS
+    assert set(legacy) == set(SPECS)
+    assert legacy["hk"](tiny_graph).cardinality == 3  # the shim still dispatches
+    with pytest.warns(DeprecationWarning):
+        again = api_module.ALGORITHMS
+    assert again is legacy  # stable identity, so legacy mutation patterns survive
+    with pytest.warns(DeprecationWarning):
+        import repro.core as core_module
+
+        core_module.ALGORITHMS
+    with pytest.raises(AttributeError):
+        api_module.NO_SUCH_ATTRIBUTE
 
 
 @pytest.mark.parametrize("name", sorted(MAXIMUM_ALGORITHMS))
@@ -246,7 +263,7 @@ def test_api_forwards_config(tiny_graph):
     assert result.counters["strategy"] == "fix-10"
 
 
-@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("name", sorted(SPECS))
 def test_api_unknown_kwargs_raise_uniformly(name, tiny_graph):
     # Regression: the old registry wrappers for "pr" / "p-dbfs" only consumed
     # **kwargs when building a config, and the no-config algorithms swallowed

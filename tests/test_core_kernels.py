@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.kernels import (
     active_columns_mask,
@@ -20,7 +19,6 @@ from repro.core.relabel import gpu_global_relabel
 from repro.graph import from_edges
 from repro.gpusim import VirtualGPU
 from repro.matching import UNMATCHABLE, UNMATCHED, Matching
-from repro.seq.greedy import cheap_matching
 
 
 def _state(graph, initial=None):

@@ -17,7 +17,7 @@ from repro.service import (
     MatchingService,
     ResultCache,
 )
-import repro.service.service as service_mod
+import repro.engine.execution as execution_mod
 
 
 @pytest.fixture(scope="module")
@@ -30,15 +30,15 @@ def small_graphs():
 
 @pytest.fixture
 def counting_execute(monkeypatch):
-    """Count actual computations by wrapping the service's execution path."""
+    """Count actual computations by wrapping the engine's execution path."""
     calls = []
-    original = service_mod.execute_job
+    original = execution_mod.execute_job
 
-    def counted(job, plan=None):
+    def counted(job, plan=None, initial_matching=None):
         calls.append(job)
-        return original(job, plan)
+        return original(job, plan, initial_matching)
 
-    monkeypatch.setattr(service_mod, "execute_job", counted)
+    monkeypatch.setattr(execution_mod, "execute_job", counted)
     return calls
 
 
@@ -174,11 +174,83 @@ def test_worker_pool_agrees_with_inline(small_graphs):
         for name in ("g-pr", "pr", "hk")
     ]
     inline = MatchingService(workers=0, cache=False).submit_batch(jobs)
-    pooled = MatchingService(workers=2, cache=False).submit_batch(jobs)
+    with MatchingService(workers=2, cache=False) as pooled_service:
+        pooled = pooled_service.submit_batch(jobs)
     assert pooled.cardinalities() == inline.cardinalities()
     for a, b in zip(pooled.results, inline.results):
         assert np.array_equal(a.result.matching.row_match, b.result.matching.row_match)
-    assert {r.worker for r in pooled.results} == {"pool"}
+    assert {r.worker for r in pooled.results} == {"process"}
+    # The persistent pool measures each job where it ran: per-job timings,
+    # not the old pool-mean attribution, so they are individual and positive.
+    assert all(r.seconds > 0 for r in pooled.results)
+    assert len({r.seconds for r in pooled.results}) > 1
+
+
+def test_unseeded_karp_sipser_is_never_cached_or_deduplicated(small_graphs, counting_execute):
+    g = small_graphs[0]
+    # Without a seed, Karp–Sipser draws from an entropy-seeded RNG: each run
+    # is an independent sample, so memoizing or deduplicating it would
+    # silently serve one sample N times.
+    unseeded = MatchingJob(graph=g, algorithm="karp-sipser")
+    service = MatchingService(cache=True)
+    report = service.submit_batch([unseeded, unseeded])
+    assert report.executed == 2 and report.deduplicated == 0
+    second = service.submit_batch([unseeded])
+    assert second.cache_hits == 0 and len(counting_execute) == 3
+    # A *seeded* run is deterministic and caches normally.
+    seeded = MatchingJob(graph=g, algorithm="karp-sipser", kwargs={"seed": 7})
+    report = service.submit_batch([seeded, seeded])
+    assert report.executed == 1 and report.deduplicated == 1
+    assert service.submit(seeded).cached
+
+
+# ----------------------------------------------------------- failure isolation
+def test_failing_job_does_not_abort_batch(small_graphs):
+    g = small_graphs[0]
+    # The serialized reference engine only supports the "first" variant, so
+    # this job resolves fine but raises ValueError at run time.
+    boom = MatchingJob(graph=g, algorithm="g-pr", kwargs={"engine": "serialized"}, job_id="boom")
+    jobs = [MatchingJob(graph=g, algorithm="pr", job_id="a"), boom,
+            MatchingJob(graph=g, algorithm="hk", job_id="b")]
+    report = MatchingService().submit_batch(jobs)
+    by_id = {r.job.job_id: r for r in report.results}
+    assert report.failed == 1 and not report.all_ok
+    assert by_id["boom"].status == "failed" and by_id["boom"].result is None
+    assert "serialized" in by_id["boom"].error.message
+    assert by_id["a"].ok and by_id["b"].ok
+    assert by_id["a"].result.cardinality == by_id["b"].result.cardinality
+    assert report.failures() == [by_id["boom"]]
+    with pytest.raises(ValueError, match="no result"):
+        by_id["boom"].cardinality
+
+
+def test_failed_jobs_are_not_cached(small_graphs, counting_execute):
+    g = small_graphs[0]
+    boom = MatchingJob(graph=g, algorithm="g-pr", kwargs={"engine": "serialized"})
+    service = MatchingService()
+    first = service.submit(boom)
+    second = service.submit(boom)
+    assert first.status == second.status == "failed"
+    assert len(counting_execute) == 2  # the failure was retried, not served from cache
+    assert service.jobs_failed == 2
+
+
+def test_failed_duplicates_share_the_failure(small_graphs):
+    g = small_graphs[0]
+    boom = MatchingJob(graph=g, algorithm="g-pr", kwargs={"engine": "serialized"})
+    report = MatchingService().submit_batch([boom, boom])
+    assert report.failed == 2 and report.executed == 1 and report.deduplicated == 1
+    assert all(r.status == "failed" and r.error is not None for r in report.results)
+    assert report.cardinalities() == [None, None]
+
+
+def test_intra_batch_duplicates_are_labeled_dedup(small_graphs):
+    job = MatchingJob(graph=small_graphs[0], algorithm="hk")
+    report = MatchingService().submit_batch([job, job, job])
+    workers = [r.worker for r in report.results]
+    assert workers[0] == "inline"
+    assert workers[1:] == ["dedup", "dedup"]
+    assert all(r.cached for r in report.results[1:])
 
 
 # ------------------------------------------------------------------ validation
@@ -269,3 +341,93 @@ def test_cli_batch_rejects_bad_manifest(tmp_path, capsys):
     manifest.write_text('{"algorithm": "g-pr"}\n')  # neither graph nor mtx
     assert main(["batch", "--manifest", str(manifest)]) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_cli_batch_rejects_unusable_cache_dir(tmp_path, capsys):
+    from repro.cli import main
+
+    manifest = tmp_path / "jobs.jsonl"
+    manifest.write_text('{"graph": "roadNet-PA", "algorithm": "pr", "profile": "tiny"}\n')
+    shadow = tmp_path / "not-a-dir"
+    shadow.write_text("occupied")  # a file where the cache directory should go
+    assert main(["batch", "--manifest", str(manifest), "--cache-dir", str(shadow)]) == 2
+    assert "cache dir" in capsys.readouterr().err
+
+
+def test_cli_batch_validates_whole_manifest_before_building_graphs(tmp_path, capsys, monkeypatch):
+    from repro import cli
+
+    built = []
+    original = cli.generate_instance
+
+    def counting(*args, **kwargs):
+        built.append(args)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(cli, "generate_instance", counting)
+    manifest = tmp_path / "jobs.jsonl"
+    manifest.write_text(
+        '{"graph": "roadNet-PA", "algorithm": "pr", "profile": "tiny"}\n'
+        '{"algorithm": "hk"}\n'  # malformed: neither graph nor mtx
+    )
+    assert cli.main(["batch", "--manifest", str(manifest), "--no-cache"]) == 2
+    assert built == []  # the bad line aborted before any graph was generated
+    assert "error" in capsys.readouterr().err
+
+    # A typo'd algorithm, knob, warm-start, graph, profile or mtx path is
+    # likewise caught before graph generation.
+    for bad_line in (
+        '{"graph": "roadNet-PA", "algorithm": "gp-r", "profile": "tiny"}',
+        '{"graph": "roadNet-PA", "algorithm": "pr", "profile": "tiny", "kwargs": {"bogus": 1}}',
+        '{"graph": "roadNet-PA", "algorithm": "cheap", "profile": "tiny", "initial": "cheap"}',
+        '{"graph": "no-such-graph", "algorithm": "pr", "profile": "tiny"}',
+        '{"graph": "roadNet-PA", "algorithm": "pr", "profile": "enormous"}',
+        '{"mtx": "/no/such/file.mtx", "algorithm": "pr", "profile": "tiny"}',
+    ):
+        manifest.write_text(
+            '{"graph": "roadNet-PA", "algorithm": "pr", "profile": "tiny"}\n' + bad_line + "\n"
+        )
+        assert cli.main(["batch", "--manifest", str(manifest), "--no-cache"]) == 2
+        assert built == []
+        assert ":2:" in capsys.readouterr().err  # error names the offending line
+
+
+def test_cli_batch_json_format_and_backend(tmp_path, capsys):
+    from repro.cli import main
+
+    manifest = tmp_path / "jobs.jsonl"
+    lines = [
+        {"graph": "roadNet-PA", "algorithm": a, "profile": "tiny", "id": f"j{i}"}
+        for i, a in enumerate(("pr", "hk"))
+    ]
+    manifest.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    rc = main(["batch", "--manifest", str(manifest), "--no-cache",
+               "--backend", "thread", "--workers", "2", "--format", "json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [r["id"] for r in payload["results"]] == ["j0", "j1"]
+    assert all(r["status"] == "ok" for r in payload["results"])
+    assert payload["summary"]["backend"] == "thread"
+    assert payload["summary"]["failed"] == 0
+
+
+def test_cli_batch_failed_job_sets_exit_code_but_siblings_complete(tmp_path, capsys):
+    from repro.cli import main
+
+    manifest = tmp_path / "jobs.jsonl"
+    lines = [
+        {"graph": "roadNet-PA", "algorithm": "pr", "profile": "tiny", "id": "ok"},
+        {"graph": "roadNet-PA", "algorithm": "g-pr", "profile": "tiny", "id": "boom",
+         "kwargs": {"engine": "serialized"}},
+    ]
+    manifest.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    rc = main(["batch", "--manifest", str(manifest), "--no-cache"])
+    assert rc == 1  # the run completed, but one job failed
+    captured = capsys.readouterr()
+    rows = [json.loads(line) for line in captured.out.splitlines()]
+    by_id = {row["id"]: row for row in rows if row["type"] == "result"}
+    assert by_id["ok"]["status"] == "ok" and by_id["ok"]["cardinality"] > 0
+    assert by_id["boom"]["status"] == "failed" and by_id["boom"]["cardinality"] is None
+    assert "serialized" in by_id["boom"]["error"]
+    assert rows[-1]["failed"] == 1
+    assert "boom" in captured.err
