@@ -23,6 +23,13 @@ Execute a batch of jobs from a JSONL manifest (one job per line, e.g.
 chosen execution backend::
 
     python -m repro.cli batch --manifest jobs.jsonl --backend process --workers 4
+
+Replay a streaming update trace (one ``{"op": "insert", "u": 3, "v": 7}``
+per line), repairing the matching incrementally and delegating large
+batches to an algorithm through the engine::
+
+    python -m repro.cli stream --graph roadNet-PA --trace updates.jsonl \
+        --batch-size 32 --algorithm hk --backend thread
 """
 
 from __future__ import annotations
@@ -34,10 +41,12 @@ from pathlib import Path
 
 from repro.bench.harness import SuiteRunner, modeled_seconds_for
 from repro.bench.reports import build_figure1, build_figure2, build_figure3, build_figure4, build_table1, render_table
-from repro.core.api import SPECS, max_bipartite_matching
-from repro.engine import BACKEND_NAMES
+from repro.core.api import SPECS, max_bipartite_matching, resolve_algorithm
+from repro.dynamic import IncrementalMatcher, read_update_trace
+from repro.engine import BACKEND_NAMES, Engine, JobError
 from repro.engine.execution import validate_job_args
 from repro.generators.suite import SCALE_PROFILES, SUITE_SPECS, generate_instance, instance_names
+from repro.generators.updates import random_update_trace
 from repro.graph.io import read_matrix_market
 from repro.service import DiskCache, MatchingJob, MatchingService
 from repro.service.jobs import INITIAL_CHOICES
@@ -244,6 +253,118 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+def _chunked(items: list, size: int):
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    if (args.trace is None) == (args.synthesize is None):
+        print("error: pass exactly one of --trace or --synthesize", file=sys.stderr)
+        return 2
+    try:
+        if args.mtx:
+            graph = read_matrix_market(args.mtx)
+        else:
+            graph = generate_instance(args.graph, profile=args.profile, seed=args.seed)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.trace is not None:
+            source = sys.stdin if args.trace == "-" else args.trace
+            updates = list(read_update_trace(source))
+        else:
+            updates = random_update_trace(
+                graph,
+                args.synthesize,
+                insert_fraction=args.insert_fraction,
+                seed=args.seed,
+            )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows: list[dict] = []
+
+    def emit(row: dict) -> None:
+        if args.format == "json":
+            rows.append(row)
+        else:
+            print(json.dumps(row))
+
+    try:
+        plan = resolve_algorithm(args.algorithm)
+        with Engine(backend=args.backend or "inline", max_workers=args.workers or None) as engine:
+            # Delegated batch repairs run as engine jobs, so --backend moves
+            # the recompute onto a thread / process / device pool.
+            def recompute(snapshot, initial):
+                job = MatchingJob(graph=snapshot, algorithm=args.algorithm)
+                return engine.run(job, plan=plan, initial_matching=initial)
+
+            matcher = IncrementalMatcher(
+                graph,
+                plan=plan,
+                batch_threshold=args.threshold,
+                recompute=recompute,
+            )
+            emit(
+                {
+                    "type": "initial",
+                    "graph": graph.name,
+                    "n_rows": graph.n_rows,
+                    "n_cols": graph.n_cols,
+                    "n_edges": graph.n_edges,
+                    "algorithm": plan.algorithm,
+                    "cardinality": matcher.cardinality,
+                }
+            )
+            for index, batch in enumerate(_chunked(updates, max(1, args.batch_size))):
+                before_scanned = matcher.counters["edges_scanned"]
+                before_delegate = matcher.counters["delegate_edges_scanned"]
+                summary = matcher.apply(batch)
+                emit(
+                    {
+                        "type": "batch",
+                        "index": index,
+                        "applied": summary["applied"],
+                        "mode": summary["mode"],
+                        "cardinality": summary["cardinality"],
+                        "edges_scanned": matcher.counters["edges_scanned"] - before_scanned,
+                        "delegate_edges_scanned": matcher.counters["delegate_edges_scanned"]
+                        - before_delegate,
+                    }
+                )
+            final = matcher.graph.snapshot()
+            emit(
+                {
+                    "type": "summary",
+                    "updates": len(updates),
+                    "cardinality": matcher.cardinality,
+                    "n_rows": final.n_rows,
+                    "n_cols": final.n_cols,
+                    "n_edges": final.n_edges,
+                    "searches": matcher.counters["searches"],
+                    "augmentations": matcher.counters["augmentations"],
+                    "edges_scanned": matcher.counters["edges_scanned"],
+                    "recomputes": matcher.counters["recomputes"],
+                    "delegate_edges_scanned": matcher.counters["delegate_edges_scanned"],
+                    "backend": engine.backend.name,
+                }
+            )
+    except (TypeError, ValueError, IndexError, TimeoutError, JobError) as exc:
+        # JobError covers delegated recomputes failing at runtime on the
+        # engine backend (failed / cancelled / timed-out jobs).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.format == "json":
+            print(json.dumps({"events": rows}, indent=2))
+    except BrokenPipeError:
+        _silence_stdout()
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("suite instances:")
     for name in instance_names():
@@ -325,6 +446,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default size profile for suite-instance jobs")
     batch.add_argument("--seed", type=int, default=20130421)
     batch.set_defaults(func=_cmd_batch)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a JSONL update trace, repairing the matching incrementally",
+    )
+    stream.add_argument("--graph", default="roadNet-PA", help="suite instance name or id")
+    stream.add_argument("--mtx", default=None,
+                        help="path to a Matrix-Market file (overrides --graph)")
+    stream.add_argument("--trace", default=None,
+                        help="path to a JSONL update trace ('-' for stdin)")
+    stream.add_argument("--synthesize", type=int, default=None, metavar="N",
+                        help="generate a seeded random trace of N updates instead of --trace")
+    stream.add_argument("--insert-fraction", type=float, default=0.5,
+                        help="insert share of a synthesized trace (rest are deletions)")
+    stream.add_argument("--algorithm", default="hk", choices=sorted(SPECS),
+                        help="batch-repair backend for delegated recomputes")
+    stream.add_argument("--batch-size", type=int, default=32,
+                        help="updates applied (and reported) per batch")
+    stream.add_argument("--threshold", type=int, default=64,
+                        help="batch size at which repair compacts and delegates to --algorithm")
+    stream.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                        help="engine backend executing delegated recomputes (default: inline)")
+    stream.add_argument("--workers", type=int, default=0,
+                        help="worker/device-pool size for the engine backend")
+    stream.add_argument("--format", default="jsonl", choices=("jsonl", "json"),
+                        help="jsonl: one JSON object per event; json: one structured document")
+    stream.add_argument("--profile", default="small")
+    stream.add_argument("--seed", type=int, default=20130421)
+    stream.set_defaults(func=_cmd_stream)
 
     lst = sub.add_parser("list", help="list suite instances and algorithms")
     lst.set_defaults(func=_cmd_list)

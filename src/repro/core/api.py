@@ -140,6 +140,8 @@ class ExecutionPlan:
                 f"algorithm {self.algorithm!r} produces an initial matching; "
                 "it does not accept a warm-start"
             )
+        if initial is not None:
+            initial.check_compatible(graph, context="warm-start matching")
         device = None
         if self.spec.accepts_device and self.device_factory is not None:
             device = self.device_factory()

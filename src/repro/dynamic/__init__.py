@@ -1,0 +1,37 @@
+"""Dynamic-graph subsystem: streaming updates over the frozen CSR graph.
+
+Three pieces:
+
+* :class:`~repro.dynamic.updates.GraphUpdate` — the unit of change
+  (``insert`` / ``delete`` edge, ``add_row`` / ``add_col``), with JSONL
+  trace readers/writers for the CLI ``stream`` subcommand.
+* :class:`~repro.dynamic.overlay.DynamicBipartiteGraph` — a mutable overlay
+  over an immutable :class:`~repro.graph.bipartite.BipartiteGraph`, with
+  periodic compaction back into a frozen snapshot so the algorithm
+  registry, ``content_hash()`` and the result caches keep working.
+* :class:`~repro.dynamic.incremental.IncrementalMatcher` — repairs a
+  maximum matching per update (targeted augmenting-path searches) and
+  delegates large batches to any registered
+  :class:`~repro.core.api.ExecutionPlan` with the surviving matching as
+  warm start.
+"""
+
+from repro.dynamic.incremental import IncrementalMatcher
+from repro.dynamic.overlay import DynamicBipartiteGraph
+from repro.dynamic.updates import (
+    UPDATE_OPS,
+    GraphUpdate,
+    parse_update,
+    read_update_trace,
+    write_update_trace,
+)
+
+__all__ = [
+    "UPDATE_OPS",
+    "DynamicBipartiteGraph",
+    "GraphUpdate",
+    "IncrementalMatcher",
+    "parse_update",
+    "read_update_trace",
+    "write_update_trace",
+]

@@ -1,0 +1,261 @@
+"""A mutable overlay over the frozen dual-CSR :class:`BipartiteGraph`.
+
+Every algorithm, the result caches and :meth:`BipartiteGraph.content_hash`
+assume an *immutable* CSR structure, and the paper's kernels depend on that
+immutability for correctness.  Streaming workloads instead mutate the edge
+set continuously.  :class:`DynamicBipartiteGraph` reconciles the two: it
+keeps a frozen base snapshot plus small per-vertex overlays of inserted and
+deleted edges, answers adjacency queries through the merged view, and
+periodically *compacts* the overlay back into a fresh immutable snapshot —
+so the whole existing algorithm registry keeps working unchanged on the
+snapshots while updates stream in.
+
+The overlay is deliberately simple: sets keyed by vertex on both sides (the
+same dual-indexing idea as the base graph's two CSR structures), sized by
+the churn since the last compaction, not by the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builders import from_edges
+from repro.dynamic.updates import GraphUpdate
+
+__all__ = ["DynamicBipartiteGraph"]
+
+
+class DynamicBipartiteGraph:
+    """A bipartite graph supporting edge insertion/deletion and vertex growth.
+
+    Parameters
+    ----------
+    base:
+        The starting frozen snapshot.  The overlay never mutates it.
+
+    Notes
+    -----
+    ``snapshot()`` returns an equivalent immutable
+    :class:`~repro.graph.bipartite.BipartiteGraph` (cached until the next
+    mutation); ``compact()`` additionally adopts that snapshot as the new
+    base, emptying the overlay.  Row/column indices gained through
+    ``add_row()`` / ``add_col()`` extend the index space at the end, so all
+    existing indices stay valid.
+    """
+
+    def __init__(self, base: BipartiteGraph) -> None:
+        self._base = base
+        self._n_rows = base.n_rows
+        self._n_cols = base.n_cols
+        # Inserted edges (absent from the base) and deleted base edges, each
+        # indexed from both sides for O(overlay) adjacency merges.
+        self._added_by_row: dict[int, set[int]] = {}
+        self._added_by_col: dict[int, set[int]] = {}
+        self._deleted_by_row: dict[int, set[int]] = {}
+        self._deleted_by_col: dict[int, set[int]] = {}
+        self._n_added = 0
+        self._n_deleted = 0
+        self._snapshot: BipartiteGraph | None = base
+
+    # ------------------------------------------------------------ properties
+    @property
+    def base(self) -> BipartiteGraph:
+        """The frozen snapshot the overlay is relative to."""
+        return self._base
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return self._n_cols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._n_rows, self._n_cols)
+
+    @property
+    def n_edges(self) -> int:
+        return self._base.n_edges + self._n_added - self._n_deleted
+
+    @property
+    def name(self) -> str:
+        return self._base.name
+
+    @property
+    def overlay_size(self) -> int:
+        """Pending churn: inserted + deleted edges plus vertex growth since the base."""
+        return (
+            self._n_added
+            + self._n_deleted
+            + (self._n_rows - self._base.n_rows)
+            + (self._n_cols - self._base.n_cols)
+        )
+
+    # ------------------------------------------------------------- accessors
+    def _check_row(self, u: int) -> int:
+        u = int(u)
+        if not 0 <= u < self._n_rows:
+            raise IndexError(f"row index {u} out of range [0, {self._n_rows})")
+        return u
+
+    def _check_col(self, v: int) -> int:
+        v = int(v)
+        if not 0 <= v < self._n_cols:
+            raise IndexError(f"column index {v} out of range [0, {self._n_cols})")
+        return v
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether row ``u`` and column ``v`` are adjacent in the merged view."""
+        u, v = self._check_row(u), self._check_col(v)
+        if v in self._added_by_row.get(u, ()):
+            return True
+        if v in self._deleted_by_row.get(u, ()):
+            return False
+        if u >= self._base.n_rows or v >= self._base.n_cols:
+            return False
+        return self._base.has_edge(u, v)
+
+    def row_neighbors(self, u: int) -> np.ndarray:
+        """Columns adjacent to row ``u`` (sorted), through the overlay."""
+        u = self._check_row(u)
+        base = self._base.row_neighbors(u) if u < self._base.n_rows else ()
+        return self._merge(base, self._added_by_row.get(u), self._deleted_by_row.get(u))
+
+    def column_neighbors(self, v: int) -> np.ndarray:
+        """Rows adjacent to column ``v`` (sorted), through the overlay."""
+        v = self._check_col(v)
+        base = self._base.column_neighbors(v) if v < self._base.n_cols else ()
+        return self._merge(base, self._added_by_col.get(v), self._deleted_by_col.get(v))
+
+    @staticmethod
+    def _merge(base, added: set[int] | None, deleted: set[int] | None) -> np.ndarray:
+        if not added and not deleted:
+            return np.asarray(base, dtype=np.int64)
+        merged = set(int(x) for x in base)
+        if deleted:
+            merged -= deleted
+        if added:
+            merged |= added
+        return np.fromiter(sorted(merged), dtype=np.int64, count=len(merged))
+
+    # ------------------------------------------------------------- mutations
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Add edge ``(u, v)``; returns whether the graph changed."""
+        u, v = self._check_row(u), self._check_col(v)
+        if v in self._deleted_by_row.get(u, ()):
+            # Resurrect a deleted base edge: drop the tombstone.
+            self._deleted_by_row[u].discard(v)
+            self._deleted_by_col[v].discard(u)
+            self._n_deleted -= 1
+            self._snapshot = None
+            return True
+        if self.has_edge(u, v):
+            return False
+        self._added_by_row.setdefault(u, set()).add(v)
+        self._added_by_col.setdefault(v, set()).add(u)
+        self._n_added += 1
+        self._snapshot = None
+        return True
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Remove edge ``(u, v)``; returns whether the graph changed."""
+        u, v = self._check_row(u), self._check_col(v)
+        if v in self._added_by_row.get(u, ()):
+            self._added_by_row[u].discard(v)
+            self._added_by_col[v].discard(u)
+            self._n_added -= 1
+            self._snapshot = None
+            return True
+        if not self.has_edge(u, v):
+            return False
+        self._deleted_by_row.setdefault(u, set()).add(v)
+        self._deleted_by_col.setdefault(v, set()).add(u)
+        self._n_deleted += 1
+        self._snapshot = None
+        return True
+
+    def add_row(self) -> int:
+        """Append one row vertex; returns its index."""
+        self._n_rows += 1
+        self._snapshot = None
+        return self._n_rows - 1
+
+    def add_col(self) -> int:
+        """Append one column vertex; returns its index."""
+        self._n_cols += 1
+        self._snapshot = None
+        return self._n_cols - 1
+
+    def apply(self, update: GraphUpdate) -> bool:
+        """Apply one :class:`GraphUpdate`; returns whether the graph changed."""
+        if update.op == "insert":
+            return self.insert_edge(update.u, update.v)
+        if update.op == "delete":
+            return self.delete_edge(update.u, update.v)
+        if update.op == "add_row":
+            self.add_row()
+            return True
+        self.add_col()
+        return True
+
+    # ------------------------------------------------------------ compaction
+    def snapshot(self, name: str | None = None) -> BipartiteGraph:
+        """The current graph as an immutable :class:`BipartiteGraph`.
+
+        Cached between mutations, so repeated calls (and the result caches
+        keyed on the snapshot's ``content_hash()``) cost nothing while the
+        graph is quiescent.
+        """
+        if self._snapshot is not None and name is None:
+            return self._snapshot
+        edges = self._edge_array()
+        snap = from_edges(
+            edges,
+            n_rows=self._n_rows,
+            n_cols=self._n_cols,
+            name=self._base.name if name is None else name,
+        )
+        if name is None:
+            self._snapshot = snap
+        return snap
+
+    def compact(self) -> BipartiteGraph:
+        """Fold the overlay into a fresh immutable base; returns the new base."""
+        snap = self.snapshot()
+        self._base = snap
+        self._added_by_row.clear()
+        self._added_by_col.clear()
+        self._deleted_by_row.clear()
+        self._deleted_by_col.clear()
+        self._n_added = 0
+        self._n_deleted = 0
+        return snap
+
+    def _edge_array(self) -> np.ndarray:
+        base_edges = self._base.edges()
+        if self._n_deleted:
+            # Vectorized filter: encode (u, v) as u * n_cols + v and mask the
+            # (small) deleted set out, instead of a per-edge Python loop.
+            deleted = np.array(
+                [(u, v) for u, vs in self._deleted_by_row.items() for v in vs],
+                dtype=np.int64,
+            ).reshape(-1, 2)
+            keys = base_edges[:, 0] * self._n_cols + base_edges[:, 1]
+            deleted_keys = deleted[:, 0] * self._n_cols + deleted[:, 1]
+            base_edges = base_edges[~np.isin(keys, deleted_keys)]
+        if not self._n_added:
+            return base_edges
+        added = np.array(
+            [(u, v) for u, vs in self._added_by_row.items() for v in vs],
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        return np.concatenate([base_edges, added], axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicBipartiteGraph(name={self.name!r}, n_rows={self._n_rows}, "
+            f"n_cols={self._n_cols}, n_edges={self.n_edges}, overlay={self.overlay_size})"
+        )

@@ -1,0 +1,143 @@
+"""The streaming update model: one structural change to a bipartite graph.
+
+A :class:`GraphUpdate` is the unit both the :class:`~repro.dynamic.overlay.
+DynamicBipartiteGraph` overlay and the :class:`~repro.dynamic.incremental.
+IncrementalMatcher` consume, and the line format of the JSONL update traces
+replayed by the CLI ``stream`` subcommand.  Four operations exist:
+
+``insert`` / ``delete``
+    Add or remove the edge ``(u, v)`` (row ``u``, column ``v``).
+``add_row`` / ``add_col``
+    Grow the vertex set by one row / column (``u`` and ``v`` unused).
+
+Traces serialise one update per line, e.g.::
+
+    {"op": "insert", "u": 3, "v": 7}
+    {"op": "delete", "u": 0, "v": 2}
+    {"op": "add_row"}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+__all__ = [
+    "UPDATE_OPS",
+    "GraphUpdate",
+    "parse_update",
+    "read_update_trace",
+    "write_update_trace",
+]
+
+#: Accepted operation names, in the order they appear in the docs.
+UPDATE_OPS = ("insert", "delete", "add_row", "add_col")
+
+_EDGE_OPS = frozenset({"insert", "delete"})
+
+
+@dataclass(frozen=True)
+class GraphUpdate:
+    """One structural update to a dynamic bipartite graph.
+
+    Attributes
+    ----------
+    op:
+        One of :data:`UPDATE_OPS`.
+    u, v:
+        Row and column index for the edge operations; ``None`` (and ignored)
+        for ``add_row`` / ``add_col``.
+    """
+
+    op: str
+    u: int | None = None
+    v: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in UPDATE_OPS:
+            raise ValueError(f"unknown update op {self.op!r}; choose from {UPDATE_OPS}")
+        if self.op in _EDGE_OPS:
+            if self.u is None or self.v is None:
+                raise ValueError(f"update {self.op!r} needs both 'u' and 'v'")
+            object.__setattr__(self, "u", int(self.u))
+            object.__setattr__(self, "v", int(self.v))
+
+    @classmethod
+    def insert(cls, u: int, v: int) -> "GraphUpdate":
+        return cls("insert", u, v)
+
+    @classmethod
+    def delete(cls, u: int, v: int) -> "GraphUpdate":
+        return cls("delete", u, v)
+
+    @classmethod
+    def add_row(cls) -> "GraphUpdate":
+        return cls("add_row")
+
+    @classmethod
+    def add_col(cls) -> "GraphUpdate":
+        return cls("add_col")
+
+    def to_json(self) -> str:
+        """This update as a compact single-line JSON object."""
+        payload: dict = {"op": self.op}
+        if self.op in _EDGE_OPS:
+            payload["u"] = self.u
+            payload["v"] = self.v
+        return json.dumps(payload)
+
+
+def parse_update(obj: dict, *, where: str = "update") -> GraphUpdate:
+    """Build a :class:`GraphUpdate` from a decoded JSON object.
+
+    ``where`` prefixes every error message (the trace reader passes
+    ``path:lineno``) so a malformed line in a long trace is easy to find.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"{where}: expected an object, got {type(obj).__name__}")
+    op = obj.get("op")
+    if op not in UPDATE_OPS:
+        raise ValueError(f"{where}: unknown op {op!r}; choose from {UPDATE_OPS}")
+    u, v = obj.get("u"), obj.get("v")
+    if op in _EDGE_OPS:
+        for label, value in (("u", u), ("v", v)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"{where}: {op!r} needs an integer {label!r}, got {value!r}")
+    return GraphUpdate(op, u, v)
+
+
+def read_update_trace(source: str | Path | TextIO) -> Iterator[GraphUpdate]:
+    """Yield the updates of a JSONL trace (path or open text handle).
+
+    Blank lines and ``#`` comments are skipped; malformed lines raise
+    ``ValueError`` naming the offending line.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from _read_lines(handle, str(source))
+    else:
+        yield from _read_lines(source, getattr(source, "name", "<trace>"))
+
+
+def _read_lines(handle: TextIO, label: str) -> Iterator[GraphUpdate]:
+    for lineno, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{label}:{lineno}: invalid JSON: {exc}") from exc
+        yield parse_update(obj, where=f"{label}:{lineno}")
+
+
+def write_update_trace(updates: Iterable[GraphUpdate], path: str | Path) -> int:
+    """Write ``updates`` as a JSONL trace; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for update in updates:
+            handle.write(update.to_json() + "\n")
+            count += 1
+    return count

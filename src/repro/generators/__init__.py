@@ -32,6 +32,7 @@ from repro.generators.suite import (
     instance_names,
 )
 from repro.generators.trace import bubbles_graph, trace_graph
+from repro.generators.updates import random_update_trace, suite_update_workload
 
 __all__ = [
     "uniform_random_bipartite",
@@ -45,6 +46,8 @@ __all__ = [
     "delaunay_like_graph",
     "trace_graph",
     "bubbles_graph",
+    "random_update_trace",
+    "suite_update_workload",
     "SUITE_SPECS",
     "SuiteInstance",
     "generate_suite",

@@ -1,0 +1,122 @@
+"""Seeded streaming-update traces over the generator families.
+
+The suite generators produce static graphs; this module turns any of them
+into a *streaming* workload: a deterministic, seeded sequence of
+:class:`~repro.dynamic.updates.GraphUpdate` objects (edge insertions of
+fresh non-edges, deletions of live edges, optional vertex growth) that the
+:class:`~repro.dynamic.incremental.IncrementalMatcher` and the CLI
+``stream`` subcommand replay.
+
+The trace simulator tracks the live edge set as it goes, so deletions always
+hit an existing edge and insertions always add a new one — every update
+changes the graph, which keeps edges-scanned comparisons between incremental
+repair and from-scratch recompute honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic.updates import GraphUpdate
+from repro.generators.suite import generate_instance
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["random_update_trace", "suite_update_workload"]
+
+
+def random_update_trace(
+    graph: BipartiteGraph,
+    n_updates: int,
+    *,
+    insert_fraction: float = 0.5,
+    growth_fraction: float = 0.0,
+    seed: int = 0,
+) -> list[GraphUpdate]:
+    """A seeded insert/delete trace over ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The base graph the trace starts from (it is not modified).
+    n_updates:
+        Number of updates to produce.
+    insert_fraction:
+        Probability that a non-growth update inserts a fresh non-edge; the
+        rest delete a live edge.  A trace that runs out of edges to delete
+        falls back to insertion (and vice versa on full graphs).
+    growth_fraction:
+        Probability that an update grows the vertex set instead
+        (``add_row`` / ``add_col`` with equal odds).
+    seed:
+        RNG seed; the same arguments always produce the same trace.
+    """
+    if n_updates < 0:
+        raise ValueError("n_updates must be non-negative")
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ValueError("insert_fraction must be in [0, 1]")
+    if not 0.0 <= growth_fraction <= 1.0:
+        raise ValueError("growth_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_rows, n_cols = graph.n_rows, graph.n_cols
+    # Live edge set: list for O(1) uniform sampling (swap-remove), set for
+    # O(1) membership when rejection-sampling fresh non-edges.
+    edges: list[tuple[int, int]] = [(int(u), int(v)) for u, v in graph.edges()]
+    edge_set = set(edges)
+
+    trace: list[GraphUpdate] = []
+    for _ in range(n_updates):
+        if growth_fraction and rng.random() < growth_fraction:
+            if rng.random() < 0.5:
+                trace.append(GraphUpdate.add_row())
+                n_rows += 1
+            else:
+                trace.append(GraphUpdate.add_col())
+                n_cols += 1
+            continue
+        full = len(edge_set) >= n_rows * n_cols
+        want_insert = rng.random() < insert_fraction
+        if (want_insert or not edges) and not full:
+            while True:
+                u = int(rng.integers(n_rows))
+                v = int(rng.integers(n_cols))
+                if (u, v) not in edge_set:
+                    break
+            trace.append(GraphUpdate.insert(u, v))
+            edges.append((u, v))
+            edge_set.add((u, v))
+        elif edges:
+            index = int(rng.integers(len(edges)))
+            u, v = edges[index]
+            edges[index] = edges[-1]
+            edges.pop()
+            edge_set.discard((u, v))
+            trace.append(GraphUpdate.delete(u, v))
+        # An empty graph with zero insert room produces no update this step —
+        # only possible for degenerate 0-vertex graphs.
+    return trace
+
+
+def suite_update_workload(
+    name_or_id: str | int,
+    n_updates: int,
+    *,
+    profile: str = "tiny",
+    seed: int = 20130421,
+    insert_fraction: float = 0.5,
+    growth_fraction: float = 0.0,
+) -> tuple[BipartiteGraph, list[GraphUpdate]]:
+    """Generate a suite instance plus a seeded update trace over it.
+
+    Convenience wrapper tying :func:`~repro.generators.suite.generate_instance`
+    to :func:`random_update_trace`; the trace seed is derived from ``seed`` so
+    one number pins the whole workload.
+    """
+    graph = generate_instance(name_or_id, profile=profile, seed=seed)
+    trace = random_update_trace(
+        graph,
+        n_updates,
+        insert_fraction=insert_fraction,
+        growth_fraction=growth_fraction,
+        seed=seed + 1,
+    )
+    return graph, trace

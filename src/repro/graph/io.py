@@ -25,11 +25,17 @@ _SUPPORTED_FIELDS = {"real", "integer", "pattern", "complex"}
 _SUPPORTED_SYMMETRIES = {"general", "symmetric", "skew-symmetric", "hermitian"}
 
 
-def _open_text(path: str | Path) -> TextIO:
+def _open_text(path: str | Path, mode: str = "rt") -> TextIO:
+    """Open ``path`` for text I/O, transparently gzipping ``.gz`` files.
+
+    Shared by the reader and the writer so ``.mtx.gz`` round-trips: a file
+    written by :func:`write_matrix_market` is always readable by
+    :func:`read_matrix_market`.
+    """
     path = Path(path)
     if path.suffix == ".gz":
-        return gzip.open(path, "rt")
-    return open(path, "rt")
+        return gzip.open(path, mode)
+    return open(path, mode)
 
 
 def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGraph:
@@ -52,6 +58,7 @@ def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGr
     graph_name = name if name is not None else path.name.removesuffix(".gz").removesuffix(".mtx")
     with _open_text(path) as handle:
         header = handle.readline()
+        lineno = 1
         if not header.startswith("%%MatrixMarket"):
             raise ValueError(f"{path}: not a Matrix-Market file (bad header {header!r})")
         parts = header.strip().split()
@@ -71,8 +78,10 @@ def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGr
 
         # Skip comments, read the size line.
         line = handle.readline()
+        lineno += 1
         while line.startswith("%"):
             line = handle.readline()
+            lineno += 1
         if not line:
             raise ValueError(f"{path}: missing size line")
         sizes = line.split()
@@ -84,14 +93,36 @@ def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGr
         cols = np.empty(n_entries, dtype=np.int64)
         count = 0
         for line in handle:
+            lineno += 1
             line = line.strip()
             if not line or line.startswith("%"):
                 continue
             tokens = line.split()
             if count >= n_entries:
                 raise ValueError(f"{path}: more entries than declared ({n_entries})")
-            rows[count] = int(tokens[0]) - 1
-            cols[count] = int(tokens[1]) - 1
+            if len(tokens) < 2:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed entry line {line!r} "
+                    "(expected at least 'row col')"
+                )
+            try:
+                i, j = int(tokens[0]), int(tokens[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer indices in entry line {line!r}"
+                ) from None
+            if not 1 <= i <= n_rows:
+                raise ValueError(
+                    f"{path}:{lineno}: row index {i} outside the declared size "
+                    f"{n_rows} in entry line {line!r}"
+                )
+            if not 1 <= j <= n_cols:
+                raise ValueError(
+                    f"{path}:{lineno}: column index {j} outside the declared size "
+                    f"{n_cols} in entry line {line!r}"
+                )
+            rows[count] = i - 1
+            cols[count] = j - 1
             count += 1
         if count != n_entries:
             raise ValueError(f"{path}: expected {n_entries} entries, found {count}")
@@ -105,10 +136,14 @@ def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGr
 
 
 def write_matrix_market(graph: BipartiteGraph, path: str | Path) -> None:
-    """Write the graph's biadjacency pattern as a Matrix-Market coordinate file."""
+    """Write the graph's biadjacency pattern as a Matrix-Market coordinate file.
+
+    A ``.gz`` suffix (e.g. ``matrix.mtx.gz``) writes gzip-compressed text,
+    mirroring what :func:`read_matrix_market` accepts.
+    """
     path = Path(path)
     edges = graph.edges()
-    with open(path, "wt") as handle:
+    with _open_text(path, "wt") as handle:
         handle.write("%%MatrixMarket matrix coordinate pattern general\n")
         handle.write(f"% written by repro ({graph.name})\n")
         handle.write(f"{graph.n_rows} {graph.n_cols} {graph.n_edges}\n")

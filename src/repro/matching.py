@@ -49,12 +49,34 @@ class Matching:
         )
 
     @classmethod
-    def from_pairs(cls, graph: BipartiteGraph, pairs: Mapping[int, int] | list[tuple[int, int]]) -> "Matching":
-        """Build a matching from ``(row, col)`` pairs; raises on conflicts."""
+    def from_pairs(
+        cls,
+        graph: BipartiteGraph,
+        pairs: Mapping[int, int] | list[tuple[int, int]],
+        *,
+        enforce_edges: bool = False,
+    ) -> "Matching":
+        """Build a matching from ``(row, col)`` pairs; raises on conflicts.
+
+        Every pair is bounds-checked against ``graph`` — a negative or
+        out-of-range index raises ``ValueError`` instead of silently wrapping
+        through numpy indexing onto another vertex.  With ``enforce_edges``,
+        each pair must also be an edge of ``graph``.
+        """
         matching = cls.empty(graph)
         items = pairs.items() if isinstance(pairs, Mapping) else pairs
         for u, v in items:
             u, v = int(u), int(v)
+            if not 0 <= u < graph.n_rows:
+                raise ValueError(
+                    f"pair ({u}, {v}): row index {u} out of range [0, {graph.n_rows})"
+                )
+            if not 0 <= v < graph.n_cols:
+                raise ValueError(
+                    f"pair ({u}, {v}): column index {v} out of range [0, {graph.n_cols})"
+                )
+            if enforce_edges and not graph.has_edge(u, v):
+                raise ValueError(f"pair ({u}, {v}) is not an edge of graph {graph.name!r}")
             if matching.row_match[u] != UNMATCHED or matching.col_match[v] != UNMATCHED:
                 raise ValueError(f"pair ({u}, {v}) conflicts with an earlier pair")
             matching.row_match[u] = v
@@ -89,6 +111,32 @@ class Matching:
     def deficiency(self, maximum_cardinality: int) -> int:
         """Difference between a maximum matching's cardinality and this one's."""
         return maximum_cardinality - self.cardinality
+
+    def check_compatible(self, graph: BipartiteGraph, *, context: str = "matching") -> None:
+        """Raise ``ValueError`` unless this matching fits ``graph``'s shape.
+
+        Checks the array lengths against ``(n_rows, n_cols)`` and the matched
+        entries against the opposite side's vertex range, so a matching built
+        for a *different* graph fails here with a clear message instead of
+        producing silent nonsense (or a cryptic ``IndexError``) deep inside a
+        kernel.
+        """
+        if len(self.row_match) != graph.n_rows or len(self.col_match) != graph.n_cols:
+            raise ValueError(
+                f"{context} has shape ({len(self.row_match)}, {len(self.col_match)}) "
+                f"but graph {graph.name!r} has shape ({graph.n_rows}, {graph.n_cols}); "
+                "was it built for a different graph?"
+            )
+        if len(self.row_match) and int(self.row_match.max(initial=UNMATCHED)) >= graph.n_cols:
+            raise ValueError(
+                f"{context} matches a row to column {int(self.row_match.max())}, outside "
+                f"graph {graph.name!r}'s column range [0, {graph.n_cols})"
+            )
+        if len(self.col_match) and int(self.col_match.max(initial=UNMATCHED)) >= graph.n_rows:
+            raise ValueError(
+                f"{context} matches a column to row {int(self.col_match.max())}, outside "
+                f"graph {graph.name!r}'s row range [0, {graph.n_rows})"
+            )
 
     # ------------------------------------------------------------------- utils
     def copy(self) -> "Matching":

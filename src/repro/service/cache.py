@@ -71,10 +71,12 @@ class ResultCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
 
 class DiskCache:

@@ -182,3 +182,81 @@ def test_cli_figures(capsys, figure):
 def test_cli_figure1(capsys):
     assert main(["figures", "--figure", "1", "--profile", "tiny", "--instances", "amazon0505"]) == 0
     assert "G-PR-Shr" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------------- stream
+def test_cli_stream_synthesized_trace(capsys):
+    assert (
+        main(
+            [
+                "stream",
+                "--graph", "roadNet-PA",
+                "--profile", "tiny",
+                "--synthesize", "50",
+                "--batch-size", "10",
+                "--threshold", "1000",
+                "--algorithm", "hk",
+                "--format", "json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    events = payload["events"]
+    assert events[0]["type"] == "initial"
+    batches = [e for e in events if e["type"] == "batch"]
+    assert len(batches) == 5
+    assert all(b["mode"] == "incremental" for b in batches)
+    summary = events[-1]
+    assert summary["type"] == "summary"
+    assert summary["updates"] == 50
+    assert summary["recomputes"] == 0
+    assert summary["cardinality"] > 0
+
+
+def test_cli_stream_replays_jsonl_trace_through_engine(tmp_path, capsys):
+    from repro.dynamic import write_update_trace
+    from repro.generators import generate_instance, random_update_trace
+
+    graph = generate_instance("roadNet-PA", profile="tiny", seed=20130421)
+    trace = tmp_path / "updates.jsonl"
+    write_update_trace(random_update_trace(graph, 40, seed=3), trace)
+    assert (
+        main(
+            [
+                "stream",
+                "--graph", "roadNet-PA",
+                "--profile", "tiny",
+                "--trace", str(trace),
+                "--batch-size", "20",
+                "--threshold", "20",
+                "--backend", "thread",
+                "--algorithm", "pr",
+            ]
+        )
+        == 0
+    )
+    lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    batches = [e for e in lines if e["type"] == "batch"]
+    assert len(batches) == 2
+    assert all(b["mode"] == "delegated" for b in batches)
+    summary = lines[-1]
+    assert summary["backend"] == "thread"
+    assert summary["recomputes"] == 2
+    assert summary["delegate_edges_scanned"] > 0
+
+
+def test_cli_stream_rejects_bad_trace(tmp_path, capsys):
+    trace = tmp_path / "bad.jsonl"
+    trace.write_text('{"op": "insert", "u": 0, "v": 0}\n{"op": "warp"}\n')
+    assert main(["stream", "--graph", "roadNet-PA", "--profile", "tiny",
+                 "--trace", str(trace)]) == 2
+    err = capsys.readouterr().err
+    assert "bad.jsonl:2" in err and "warp" in err
+
+
+def test_cli_stream_requires_exactly_one_source(capsys):
+    assert main(["stream", "--graph", "roadNet-PA"]) == 2
+    assert main(["stream", "--graph", "roadNet-PA", "--trace", "x.jsonl",
+                 "--synthesize", "5"]) == 2
+    assert "exactly one of" in capsys.readouterr().err

@@ -161,3 +161,47 @@ def test_matrix_market_gzip(tmp_path, tiny_graph):
     gz.write_bytes(gzip.compress(plain.read_bytes()))
     back = read_matrix_market(gz)
     assert back.n_edges == tiny_graph.n_edges
+
+
+def test_matrix_market_gzip_write_roundtrip(tmp_path, tiny_graph):
+    # Regression: write_matrix_market could not produce the .mtx.gz files
+    # read_matrix_market accepts, so gz round-trips broke.
+    import gzip
+
+    gz = tmp_path / "g.mtx.gz"
+    write_matrix_market(tiny_graph, gz)
+    with gzip.open(gz, "rt") as fh:  # really compressed, not plain text
+        assert fh.readline().startswith("%%MatrixMarket")
+    back = read_matrix_market(gz)
+    assert back.shape == tiny_graph.shape
+    assert back.content_hash() == tiny_graph.content_hash()
+    assert back.name == "g"
+
+
+def test_matrix_market_malformed_entry_line(tmp_path):
+    # Regression: a one-token entry line used to surface as a bare IndexError.
+    path = tmp_path / "short-line.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2\n")
+    with pytest.raises(ValueError, match=r"short-line\.mtx:4: malformed entry line '2'"):
+        read_matrix_market(path)
+
+
+def test_matrix_market_non_integer_entry(tmp_path):
+    path = tmp_path / "nonint.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate pattern general\n2 2 1\nx y\n")
+    with pytest.raises(ValueError, match=r"nonint\.mtx:3: non-integer indices"):
+        read_matrix_market(path)
+
+
+def test_matrix_market_entry_outside_declared_size(tmp_path):
+    # Regression: 1-based indices outside the declared size used to crash the
+    # CSR builder instead of raising a ValueError naming the offending line.
+    path = tmp_path / "oob.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n3 1\n")
+    with pytest.raises(ValueError, match=r"oob\.mtx:4: row index 3 outside the declared size 2"):
+        read_matrix_market(path)
+    path.write_text("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 0\n")
+    with pytest.raises(
+        ValueError, match=r"oob\.mtx:3: column index 0 outside the declared size 2"
+    ):
+        read_matrix_market(path)

@@ -69,6 +69,18 @@ def test_warm_start_paths_reach_the_same_maximum(name, heuristic):
     assert result.cardinality == reference
 
 
+@pytest.mark.parametrize("name", sorted(MAXIMUM_ALGORITHMS))
+def test_warm_start_from_a_different_graph_is_rejected(name):
+    # Regression: a warm start built for another graph used to produce silent
+    # nonsense or a cryptic IndexError deep inside a kernel; every algorithm
+    # now rejects it up front with a clear message.
+    graph = uniform_random_bipartite(60, 60, avg_degree=3.0, seed=1)
+    other = uniform_random_bipartite(40, 50, avg_degree=3.0, seed=2)
+    initial = cheap_matching(other).matching
+    with pytest.raises(ValueError, match="warm-start matching"):
+        max_bipartite_matching(graph, algorithm=name, initial=initial)
+
+
 @pytest.mark.parametrize("heuristic", ["cheap", "karp-sipser"])
 def test_warm_start_on_degenerate_graphs(heuristic):
     graph = empty_graph(5, 8)

@@ -29,6 +29,46 @@ def test_from_pairs_conflict(tiny_graph):
         Matching.from_pairs(tiny_graph, [(0, 0), (1, 0)])
 
 
+def test_from_pairs_rejects_out_of_range_indices(tiny_graph):
+    # Regression: numpy indexing silently wraps negative indices, so (-1, 0)
+    # used to corrupt the *last* row instead of raising.
+    with pytest.raises(ValueError, match=r"row index -1 out of range"):
+        Matching.from_pairs(tiny_graph, [(-1, 0)])
+    with pytest.raises(ValueError, match=r"column index -2 out of range"):
+        Matching.from_pairs(tiny_graph, [(0, -2)])
+    with pytest.raises(ValueError, match=r"row index 4 out of range"):
+        Matching.from_pairs(tiny_graph, [(4, 0)])
+    with pytest.raises(ValueError, match=r"column index 7 out of range"):
+        Matching.from_pairs(tiny_graph, [(0, 7)])
+
+
+def test_from_pairs_enforce_edges(tiny_graph):
+    # (1, 2) is not an edge of the tiny fixture; (1, 0) is.
+    assert Matching.from_pairs(tiny_graph, [(1, 0)], enforce_edges=True).cardinality == 1
+    with pytest.raises(ValueError, match=r"\(1, 2\) is not an edge"):
+        Matching.from_pairs(tiny_graph, [(1, 2)], enforce_edges=True)
+
+
+def test_check_compatible_accepts_own_graph(tiny_graph):
+    Matching.empty(tiny_graph).check_compatible(tiny_graph)  # no raise
+
+
+def test_check_compatible_rejects_wrong_lengths(tiny_graph, perfect_graph):
+    with pytest.raises(ValueError, match="different graph"):
+        Matching.empty(perfect_graph).check_compatible(tiny_graph)
+
+
+def test_check_compatible_rejects_out_of_range_entries(tiny_graph):
+    m = Matching.empty(tiny_graph)
+    m.row_match[0] = 9
+    with pytest.raises(ValueError, match="outside .* column range"):
+        m.check_compatible(tiny_graph)
+    m = Matching.empty(tiny_graph)
+    m.col_match[1] = 12
+    with pytest.raises(ValueError, match="outside .* row range"):
+        m.check_compatible(tiny_graph)
+
+
 def test_canonical_resolves_inconsistencies(tiny_graph):
     m = Matching.empty(tiny_graph)
     # Row 0 matched to column 1, but column 0 *thinks* it is matched to row 0

@@ -137,6 +137,45 @@ def test_result_cache_lru_eviction():
     assert served.cardinality == result.cardinality
 
 
+def test_result_cache_len_and_contains_are_locked():
+    """Regression: __len__/__contains__ read _entries without the lock.
+
+    With the lock held, a reader can never observe the transient
+    over-capacity state inside put() (entry inserted, eviction loop not yet
+    run) — so len(cache) <= max_entries holds at every instant under
+    concurrent eviction.
+    """
+    import threading
+
+    cache = ResultCache(max_entries=4)
+    g = uniform_random_bipartite(20, 20, avg_degree=2.0, seed=6)
+    result = max_bipartite_matching(g, "hk")
+    stop = threading.Event()
+    errors: list[str] = []
+
+    def writer(tag: str) -> None:
+        i = 0
+        while not stop.is_set():
+            cache.put((tag, i % 16), result)
+            i += 1
+
+    threads = [threading.Thread(target=writer, args=(t,)) for t in ("a", "b")]
+    for t in threads:
+        t.start()
+    try:
+        for i in range(3000):
+            n = len(cache)
+            if n > cache.max_entries:
+                errors.append(f"iteration {i}: observed {n} entries")
+                break
+            ("a", i % 16) in cache  # must never raise mid-eviction
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert not errors, errors
+
+
 def test_cache_hit_mutation_does_not_corrupt_cache(small_graphs):
     service = MatchingService()
     job = MatchingJob(graph=small_graphs[0], algorithm="pr")
