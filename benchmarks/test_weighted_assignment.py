@@ -1,0 +1,60 @@
+"""Benchmark smoke for the weighted-assignment solvers.
+
+Checks the performance-relevant contract rather than raw speed: the
+ε-scaling auction's total bidding work stays within a sane factor of the
+instance size (scaling is doing its job), both solvers agree with each
+other across objectives, and the gpusim-kernelized auction reports a
+modelled time.  ``REPRO_BENCH_PROFILE=tiny`` keeps the CI smoke light.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.generators import (
+    rank_correlated_weights,
+    uniform_random_bipartite,
+    uniform_weights,
+)
+from repro.gpusim.device import DeviceSpec, VirtualGPU
+from repro.weighted import (
+    AuctionConfig,
+    SAPConfig,
+    certify_optimal,
+    weighted_auction_matching,
+    weighted_sap_matching,
+)
+
+_SIZES = {"tiny": 120, "small": 300, "medium": 600, "large": 1200}
+N = _SIZES.get(os.environ.get("REPRO_BENCH_PROFILE", "small"), 300)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = uniform_random_bipartite(N, N + N // 10, avg_degree=5.0, seed=42)
+    return rank_correlated_weights(graph, seed=43)
+
+
+def test_weighted_solvers_smoke(benchmark, instance):
+    sap = weighted_sap_matching(instance, SAPConfig())
+    auction = benchmark(lambda: weighted_auction_matching(instance, AuctionConfig()))
+    assert auction.cardinality == sap.cardinality
+    assert auction.counters["total_weight"] == pytest.approx(sap.counters["total_weight"])
+    assert certify_optimal(instance, auction.matching, auction.duals).ok(0.999)
+    # ε-scaling keeps the total bidding work near-linear in the instance:
+    # without it the bid count explodes with the weight resolution.
+    assert auction.counters["bids"] < 400 * instance.n_vertices
+
+
+def test_weighted_device_cost_model(instance):
+    light = uniform_weights(
+        uniform_random_bipartite(min(N, 150), min(N, 150), avg_degree=4.0, seed=44),
+        seed=45,
+    )
+    device = VirtualGPU(DeviceSpec().scaled())
+    result = weighted_auction_matching(light, device=device)
+    assert result.modeled_time is not None and result.modeled_time > 0
+    by_kernel = device.ledger.by_kernel()
+    assert set(by_kernel) == {"auction_bid", "auction_assign"}

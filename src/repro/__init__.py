@@ -13,7 +13,12 @@ The package implements, in pure Python/NumPy on a virtual SIMT device:
   (:mod:`repro.generators`) and a virtual GPU with a calibrated cost model
   (:mod:`repro.gpusim`),
 * the benchmark harness regenerating every figure and table of the paper
-  (:mod:`repro.bench`).
+  (:mod:`repro.bench`),
+* and the workload extensions: an execution engine with pluggable backends
+  (:mod:`repro.engine`), a batched caching service (:mod:`repro.service`),
+  incremental matching under streaming updates (:mod:`repro.dynamic`) and
+  weighted assignment with dual optimality certificates
+  (:mod:`repro.weighted`).
 
 Quickstart
 ----------

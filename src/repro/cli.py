@@ -30,6 +30,15 @@ batches to an algorithm through the engine::
 
     python -m repro.cli stream --graph roadNet-PA --trace updates.jsonl \
         --batch-size 32 --algorithm hk --backend thread
+
+Solve a weighted assignment (maximum weight over maximum-cardinality
+matchings; ``--objective min`` minimises instead)::
+
+    python -m repro.cli run --graph roadNet-PA --algorithm weighted-sap \
+        --weights uniform:1:100 --objective max
+
+See ``docs/cli.md`` for the full flag reference and ``docs/formats.md``
+for the manifest / trace / Matrix-Market formats.
 """
 
 from __future__ import annotations
@@ -47,6 +56,7 @@ from repro.engine import BACKEND_NAMES, Engine, JobError
 from repro.engine.execution import validate_job_args
 from repro.generators.suite import SCALE_PROFILES, SUITE_SPECS, generate_instance, instance_names
 from repro.generators.updates import random_update_trace
+from repro.generators.weights import apply_weight_spec, parse_weight_spec
 from repro.graph.io import read_matrix_market
 from repro.service import DiskCache, MatchingJob, MatchingService
 from repro.service.jobs import INITIAL_CHOICES
@@ -55,11 +65,24 @@ __all__ = ["main"]
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.mtx:
-        graph = read_matrix_market(args.mtx)
-    else:
-        graph = generate_instance(args.graph, profile=args.profile, seed=args.seed)
-    result = max_bipartite_matching(graph, algorithm=args.algorithm)
+    # Only input handling lives in the guard: a solver bug must surface as a
+    # traceback, not masquerade as the exit-2 bad-input contract.
+    try:
+        weights_kind = parse_weight_spec(args.weights)[0] if args.weights else None
+        if args.mtx:
+            graph = read_matrix_market(args.mtx, with_weights=weights_kind == "values")
+        else:
+            graph = generate_instance(args.graph, profile=args.profile, seed=args.seed)
+        if args.weights is not None:
+            graph = apply_weight_spec(graph, args.weights, seed=args.seed)
+        kwargs = {"objective": args.objective} if args.objective else {}
+        plan = resolve_algorithm(args.algorithm, **kwargs)
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        # KeyError covers an unknown suite instance from generate_instance.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    result = plan.run(graph)
     payload = {
         "graph": graph.name,
         "n_rows": graph.n_rows,
@@ -70,22 +93,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "modeled_seconds": modeled_seconds_for(result),
         "wall_seconds": result.wall_time,
     }
+    if "total_weight" in result.counters:
+        payload["total_weight"] = result.counters["total_weight"]
+        payload["objective"] = result.counters["objective"]
     print(json.dumps(payload, indent=2))
     return 0
 
 
-def _load_manifest(path: str, default_profile: str, default_seed: int) -> list[MatchingJob]:
+def _load_manifest(
+    path: str,
+    default_profile: str,
+    default_seed: int,
+    default_weights: str | None = None,
+    default_objective: str | None = None,
+) -> list[MatchingJob]:
     """Parse a JSONL job manifest into :class:`MatchingJob` objects.
 
     Each line is an object with a ``graph`` (suite instance name or id) or
     ``mtx`` (Matrix-Market path), plus optional ``algorithm``, ``kwargs``,
-    ``initial``, ``profile``, ``seed`` and ``id`` fields.  Every line is
-    parsed and fully validated — including algorithm name, keyword arguments
-    and warm-start applicability — *before* any graph is built, so a
-    malformed last line costs milliseconds, not the minutes of generation
-    work done for the lines above it.  Graph construction is memoized per
-    (source, profile, seed) so a manifest that repeats a graph only
-    generates it once.
+    ``initial``, ``profile``, ``seed``, ``weights``, ``objective`` and
+    ``id`` fields.  ``weights`` is a weight-spec string (see
+    :func:`repro.generators.weights.apply_weight_spec`; ``"values"`` reads a
+    Matrix-Market file's value entries) and ``objective`` is folded into the
+    job's kwargs for the weighted algorithms.  Every line is parsed and
+    fully validated — including algorithm name, keyword arguments,
+    warm-start applicability and weight spec — *before* any graph is built,
+    so a malformed last line costs milliseconds, not the minutes of
+    generation work done for the lines above it.  Structural graph
+    construction is memoized per (source, profile, seed) with weight specs
+    layered on top, so a manifest sweeping one graph over several weight
+    specs generates it once.
     """
     if path == "-":
         lines = sys.stdin.read().splitlines()
@@ -124,16 +161,50 @@ def _load_manifest(path: str, default_profile: str, default_seed: int) -> list[M
                 f"{path}:{lineno}: unknown warm-start {entry.get('initial')!r}; "
                 f"choose from {INITIAL_CHOICES}"
             )
+        algorithm = str(entry.get("algorithm", "g-pr")).strip().lower()
+        spec_entry = SPECS.get(algorithm)
+        # The CLI-level --weights/--objective defaults only apply where they
+        # are meaningful — to the weighted algorithms — so a manifest mixing
+        # weighted and cardinality jobs stays valid and the cardinality
+        # jobs keep their (weightless) cache keys.  Explicit per-line fields
+        # are still honoured (and validated) for every algorithm.
+        weighted_default_applies = spec_entry is not None and spec_entry.weighted
+        weights = entry.get(
+            "weights", default_weights if weighted_default_applies else None
+        )
+        weights_kind = None
+        if weights is not None:
+            if not isinstance(weights, str):
+                raise ValueError(f"{path}:{lineno}: 'weights' must be a weight-spec string")
+            try:
+                weights_kind, _weight_kwargs = parse_weight_spec(weights)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+            if weights_kind == "values" and "graph" in entry:
+                raise ValueError(
+                    f"{path}:{lineno}: weight spec 'values' needs an 'mtx' source "
+                    "(suite instances carry no value entries)"
+                )
+        kwargs = dict(entry.get("kwargs", {}))
+        objective = entry.get("objective")
+        if objective is None and default_objective is not None and weighted_default_applies:
+            objective = default_objective
+        if objective is not None:
+            if "objective" in kwargs and kwargs["objective"] != objective:
+                raise ValueError(
+                    f"{path}:{lineno}: 'objective' conflicts with kwargs['objective']"
+                )
+            kwargs["objective"] = objective
         # Resolve the algorithm now (cheap) so a typo'd name, knob or
         # warm-start on any line is caught before phase 2 generates a graph.
         try:
-            validate_job_args(
-                entry.get("algorithm", "g-pr"), entry.get("kwargs", {}), entry.get("initial")
-            )
+            validate_job_args(algorithm, kwargs, entry.get("initial"))
         except (TypeError, ValueError) as exc:
             raise ValueError(f"{path}:{lineno}: {exc}") from exc
         if "mtx" in entry:
-            source = ("mtx", entry["mtx"])
+            # The seed only matters when a weight spec draws random weights.
+            weight_seed = seed if weights is not None and weights_kind != "values" else None
+            source = ("mtx", entry["mtx"], weights, weight_seed)
             if not isinstance(entry["mtx"], str) or not Path(entry["mtx"]).is_file():
                 raise ValueError(f"{path}:{lineno}: no such Matrix-Market file {entry['mtx']!r}")
         else:
@@ -144,25 +215,39 @@ def _load_manifest(path: str, default_profile: str, default_seed: int) -> list[M
                     f"{path}:{lineno}: unknown suite instance {ref!r} "
                     f"(see `repro.cli list` for the available names)"
                 )
-            source = ("suite", ref, profile, seed)
-        entries.append((lineno, entry, source))
-    # Phase 2: build graphs (memoized) and jobs.
+            source = ("suite", ref, profile, seed, weights)
+        entries.append((lineno, entry, source, kwargs, weights, weights_kind, seed))
+    # Phase 2: build graphs and jobs.  Memoization is two-level: the
+    # structural graph is generated once per (source, profile, seed) — a
+    # manifest sweeping one instance over several weight specs pays for
+    # generation once — and each weight spec layers on top of it.
+    structural: dict[tuple, object] = {}
     graphs: dict[tuple, object] = {}
     jobs: list[MatchingJob] = []
-    for lineno, entry, source in entries:
-        if source not in graphs:
-            if source[0] == "mtx":
-                graphs[source] = read_matrix_market(entry["mtx"])
-            else:
-                graphs[source] = generate_instance(
-                    entry["graph"], profile=source[2], seed=source[3]
-                )
+    for lineno, entry, source, kwargs, weights, weights_kind, seed in entries:
         try:
+            if source not in graphs:
+                if source[0] == "mtx":
+                    base_key = ("mtx", entry["mtx"], weights_kind == "values")
+                    if base_key not in structural:
+                        structural[base_key] = read_matrix_market(
+                            entry["mtx"], with_weights=weights_kind == "values"
+                        )
+                else:
+                    base_key = ("suite", source[1], source[2], source[3])
+                    if base_key not in structural:
+                        structural[base_key] = generate_instance(
+                            entry["graph"], profile=source[2], seed=source[3]
+                        )
+                graph = structural[base_key]
+                if weights is not None:
+                    graph = apply_weight_spec(graph, weights, seed=seed)
+                graphs[source] = graph
             jobs.append(
                 MatchingJob(
                     graph=graphs[source],
                     algorithm=entry.get("algorithm", "g-pr"),
-                    kwargs=entry.get("kwargs", {}),
+                    kwargs=kwargs,
                     initial=entry.get("initial"),
                     job_id=str(entry["id"]) if "id" in entry else f"job-{lineno}",
                 )
@@ -206,7 +291,9 @@ def _summary_row(report, args: argparse.Namespace, backend: str) -> dict:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     try:
-        jobs = _load_manifest(args.manifest, args.profile, args.seed)
+        jobs = _load_manifest(
+            args.manifest, args.profile, args.seed, args.weights, args.objective
+        )
     except (TypeError, ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -425,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--graph", default="amazon0505", help="suite instance name or id")
     run.add_argument("--mtx", default=None, help="path to a Matrix-Market file (overrides --graph)")
     run.add_argument("--algorithm", default="g-pr", choices=sorted(SPECS))
+    run.add_argument("--weights", default=None, metavar="SPEC",
+                     help="edge-weight spec: uniform[:LOW:HIGH], geometric[:P], "
+                          "rank[:NOISE], or values (use the .mtx value entries)")
+    run.add_argument("--objective", default=None, choices=("max", "min"),
+                     help="weighted objective (weighted-sap / weighted-auction only)")
     run.add_argument("--profile", default="small")
     run.add_argument("--seed", type=int, default=20130421)
     run.set_defaults(func=_cmd_run)
@@ -444,6 +536,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory of the persistent result cache")
     batch.add_argument("--profile", default="small",
                        help="default size profile for suite-instance jobs")
+    batch.add_argument("--weights", default=None, metavar="SPEC",
+                       help="default edge-weight spec for jobs without a 'weights' field")
+    batch.add_argument("--objective", default=None, choices=("max", "min"),
+                       help="default weighted objective for jobs without an 'objective' field")
     batch.add_argument("--seed", type=int, default=20130421)
     batch.set_defaults(func=_cmd_batch)
 

@@ -22,6 +22,7 @@ behind a plain callable).  Enumerate :data:`SPECS` instead.
 from __future__ import annotations
 
 import dataclasses
+import difflib
 import enum
 import warnings
 from dataclasses import dataclass, field
@@ -37,6 +38,8 @@ from repro.seq.greedy import cheap_matching, karp_sipser_matching
 from repro.seq.hopcroft_karp import hkdw_matching, hopcroft_karp_matching
 from repro.seq.pothen_fan import pothen_fan_matching
 from repro.seq.push_relabel import PushRelabelConfig, push_relabel_matching
+from repro.weighted.auction import AuctionConfig, weighted_auction_matching
+from repro.weighted.sap import SAPConfig, weighted_sap_matching
 
 __all__ = [
     "MAXIMUM_ALGORITHMS",
@@ -82,6 +85,10 @@ class AlgorithmSpec:
         Whether the runner draws from an entropy-seeded RNG when no ``seed``
         is given, making unseeded runs non-deterministic (Karp–Sipser);
         consumers like the service's result cache must not memoize such runs.
+    weighted:
+        Whether the algorithm optimises edge weights (the
+        :mod:`repro.weighted` solvers).  Weighted algorithms still return a
+        maximum-cardinality matching on weightless graphs (unit weights).
     """
 
     name: str
@@ -93,6 +100,7 @@ class AlgorithmSpec:
     accepts_device: bool = False
     accepts_initial: bool = True
     entropy_seeded: bool = False
+    weighted: bool = False
 
     def config_fields(self) -> frozenset[str]:
         """Config-dataclass fields settable through keyword arguments."""
@@ -185,6 +193,14 @@ def _run_karp_sipser(graph, initial, config, device, *, seed=None):
     return karp_sipser_matching(graph, seed=seed)
 
 
+def _run_weighted_sap(graph, initial, config, device, **_):
+    return weighted_sap_matching(graph, config=config)
+
+
+def _run_weighted_auction(graph, initial, config, device, **_):
+    return weighted_auction_matching(graph, config=config, device=device)
+
+
 def _gpr_spec(name: str, variant: GPRVariant) -> AlgorithmSpec:
     return AlgorithmSpec(
         name=name,
@@ -218,6 +234,24 @@ SPECS: dict[str, AlgorithmSpec] = {
         AlgorithmSpec(name="hk", runner=_run_hk),
         AlgorithmSpec(name="hkdw", runner=_run_hkdw),
         AlgorithmSpec(name="pfp", runner=_run_pfp),
+        # weighted assignment (optimal weight among maximum-cardinality
+        # matchings; unit weights on structural graphs).  Neither consumes a
+        # warm start — their dual certificates must be built from scratch.
+        AlgorithmSpec(
+            name="weighted-sap",
+            runner=_run_weighted_sap,
+            config_cls=SAPConfig,
+            accepts_initial=False,
+            weighted=True,
+        ),
+        AlgorithmSpec(
+            name="weighted-auction",
+            runner=_run_weighted_auction,
+            config_cls=AuctionConfig,
+            accepts_device=True,
+            accepts_initial=False,
+            weighted=True,
+        ),
         # greedy heuristics (not maximum; exposed for initialisation studies)
         AlgorithmSpec(
             name="cheap",
@@ -280,8 +314,10 @@ def resolve_algorithm(
     """
     key = str(name).strip().lower()
     if key not in SPECS:
+        close = difflib.get_close_matches(key, SPECS, n=1, cutoff=0.6)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ValueError(
-            f"unknown algorithm {name!r}; available: {', '.join(sorted(SPECS))}"
+            f"unknown algorithm {name!r}{hint}; available: {', '.join(sorted(SPECS))}"
         )
     spec = SPECS[key]
 
@@ -357,7 +393,11 @@ def max_bipartite_matching(
         One of :data:`SPECS` (case-insensitive).  ``"g-pr"`` — the
         paper's final configuration (active list + shrinking, adaptive 0.7
         global relabeling) — is the default.  All entries except ``"cheap"``
-        and ``"karp-sipser"`` return a maximum cardinality matching.
+        and ``"karp-sipser"`` return a maximum cardinality matching; the
+        weighted solvers (``"weighted-sap"``, ``"weighted-auction"``)
+        additionally optimise the graph's edge weights among the
+        maximum-cardinality matchings (``objective="max"`` / ``"min"``) and
+        attach a dual optimality certificate to ``result.duals``.
     initial:
         Optional starting matching; by default every algorithm starts from
         the cheap greedy matching, as in the paper's experiments.

@@ -136,8 +136,29 @@ class IncrementalMatcher:
 
         Batches of at least ``batch_threshold`` updates compact the overlay
         and delegate to the registered plan with the surviving matching as
-        warm start; smaller batches repair per update.  Returns a summary
-        ``{"applied", "mode", "cardinality"}``.
+        warm start; smaller batches repair per update.
+
+        Parameters
+        ----------
+        updates:
+            :class:`~repro.dynamic.updates.GraphUpdate` objects (ops
+            ``insert`` / ``delete`` / ``add_row`` / ``add_col``), applied in
+            order.
+
+        Returns
+        -------
+        dict
+            Summary with ``"applied"`` (update count), ``"mode"``
+            (``"incremental"`` or ``"delegated"``) and ``"cardinality"``
+            (the maximum cardinality after the batch).
+
+        Raises
+        ------
+        IndexError
+            An update referencing a vertex outside the current shape.
+        repro.engine.handles.JobError
+            A delegated recompute failing on the engine backend (only when
+            ``recompute`` routes through an :class:`~repro.engine.Engine`).
         """
         updates = list(updates)
         if len(updates) >= self.batch_threshold:

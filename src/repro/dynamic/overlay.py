@@ -45,6 +45,12 @@ class DynamicBipartiteGraph:
     """
 
     def __init__(self, base: BipartiteGraph) -> None:
+        if base.has_weights:
+            raise ValueError(
+                "DynamicBipartiteGraph does not support weighted graphs yet: "
+                "compaction would silently drop the edge weights.  Strip them "
+                "with graph.with_weights(None) first."
+            )
         self._base = base
         self._n_rows = base.n_rows
         self._n_cols = base.n_cols

@@ -158,18 +158,42 @@ class Engine:
     ) -> JobHandle:
         """Validate and schedule one job; returns its :class:`JobHandle`.
 
-        ``plan`` short-circuits resolution with a pre-built
-        :class:`~repro.core.api.ExecutionPlan` (the batch service and the
-        benchmark harness reuse their validation plans this way); it takes
-        precedence over the job's ``algorithm`` / ``kwargs``.
-        ``initial_matching`` overrides the job's named warm-start with an
-        explicit matching.  ``timeout`` is a per-job deadline in seconds: a
-        job that has not started by then is never run, and a result arriving
-        later is discarded and the job marked ``timeout``.
+        Invalid jobs raise here, before anything executes; *runtime* errors
+        are captured on the handle instead, so one raising job can never
+        abort a streamed batch.
 
-        Invalid jobs (unknown algorithm, unknown kwargs, inapplicable
-        warm-start) raise here, before anything executes; *runtime* errors
-        are captured on the handle instead.
+        Parameters
+        ----------
+        job:
+            The :class:`~repro.engine.job.MatchingJob` to execute.
+        plan:
+            Pre-built :class:`~repro.core.api.ExecutionPlan`, short-
+            circuiting resolution (the batch service and the benchmark
+            harness reuse their validation plans this way); takes precedence
+            over the job's ``algorithm`` / ``kwargs``.
+        timeout:
+            Per-job deadline in seconds (default: the engine's
+            ``default_timeout``).  A job that has not started by then is
+            never run, and a result arriving later is discarded and the job
+            marked ``timeout``.
+        initial_matching:
+            Explicit warm-start matching, overriding the job's *named*
+            warm-start.
+
+        Returns
+        -------
+        JobHandle
+            The job's future: ``wait()`` / ``result()`` / ``cancel()``,
+            typed ``status``, captured ``failure``, worker and timings.
+
+        Raises
+        ------
+        ValueError
+            Unknown algorithm name.
+        TypeError
+            Unknown keyword arguments or an inapplicable warm-start.
+        RuntimeError
+            The engine is shut down.
         """
         if self._closed:
             raise RuntimeError("engine is shut down")
@@ -188,8 +212,31 @@ class Engine:
     def map(
         self, jobs: Sequence[MatchingJob], *, timeout: float | None = None
     ) -> list[JobHandle]:
-        """Submit every job; handles come back in submission order."""
-        return [self.submit(job, timeout=timeout) for job in jobs]
+        """Submit every job; handles come back in submission order.
+
+        Parameters
+        ----------
+        jobs:
+            The jobs to schedule, all validated before any executes.
+        timeout:
+            Per-job deadline in seconds applied to every submission.
+
+        Returns
+        -------
+        list[JobHandle]
+            One handle per job, in submission order; stream them in
+            completion order with :meth:`as_completed`.
+
+        Raises
+        ------
+        ValueError / TypeError / RuntimeError
+            As :meth:`submit`; every job is validated before the first one
+            is scheduled, so nothing executes if any job is invalid.
+        """
+        plans = [resolve_job_plan(job) for job in jobs]
+        return [
+            self.submit(job, plan=plan, timeout=timeout) for job, plan in zip(jobs, plans)
+        ]
 
     def run(
         self,

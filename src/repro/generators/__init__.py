@@ -33,6 +33,12 @@ from repro.generators.suite import (
 )
 from repro.generators.trace import bubbles_graph, trace_graph
 from repro.generators.updates import random_update_trace, suite_update_workload
+from repro.generators.weights import (
+    apply_weight_spec,
+    geometric_weights,
+    rank_correlated_weights,
+    uniform_weights,
+)
 
 __all__ = [
     "uniform_random_bipartite",
@@ -48,6 +54,10 @@ __all__ = [
     "bubbles_graph",
     "random_update_trace",
     "suite_update_workload",
+    "apply_weight_spec",
+    "uniform_weights",
+    "geometric_weights",
+    "rank_correlated_weights",
     "SUITE_SPECS",
     "SuiteInstance",
     "generate_suite",

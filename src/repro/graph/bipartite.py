@@ -45,6 +45,11 @@ class BipartiteGraph:
     row_ptr, row_ind:
         CSR adjacency of rows: the columns adjacent to row ``u`` are
         ``row_ind[row_ptr[u]:row_ptr[u + 1]]``.
+    weights:
+        Optional ``float64`` edge weights, parallel to ``col_ind`` (one entry
+        per edge, in column-CSR order).  ``None`` for purely structural
+        graphs.  Weights participate in :meth:`content_hash`, so the result
+        caches distinguish same-structure / different-weight graphs.
 
     Notes
     -----
@@ -60,6 +65,7 @@ class BipartiteGraph:
     row_ptr: np.ndarray
     row_ind: np.ndarray
     name: str = field(default="bipartite", compare=False)
+    weights: np.ndarray | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------------ init
     def __post_init__(self) -> None:
@@ -85,9 +91,24 @@ class BipartiteGraph:
             raise ValueError("row_ptr[-1] must equal len(row_ind)")
         if len(self.col_ind) != len(self.row_ind):
             raise ValueError("column and row CSR structures must have the same edge count")
+        if self.weights is not None:
+            weights = np.asarray(self.weights, dtype=np.float64)
+            if weights.ndim != 1:
+                raise ValueError(f"weights must be a 1-D array, got shape {weights.shape}")
+            if len(weights) != len(self.col_ind):
+                raise ValueError(
+                    f"weights must have one entry per edge ({len(self.col_ind)}), "
+                    f"got {len(weights)}"
+                )
+            if not np.all(np.isfinite(weights)):
+                raise ValueError("edge weights must be finite")
+            object.__setattr__(self, "weights", weights)
         # Make the arrays read-only so accidental in-place edits by an
         # algorithm fail loudly instead of corrupting shared state.
-        for arr in (self.col_ptr, self.col_ind, self.row_ptr, self.row_ind):
+        arrays = (self.col_ptr, self.col_ind, self.row_ptr, self.row_ind)
+        if self.weights is not None:
+            arrays = arrays + (self.weights,)
+        for arr in arrays:
             arr.setflags(write=False)
 
     # ------------------------------------------------------------ properties
@@ -111,6 +132,11 @@ class BipartiteGraph:
         """The label used by the paper to mark unreachable vertices, ``m + n``."""
         return self.n_rows + self.n_cols
 
+    @property
+    def has_weights(self) -> bool:
+        """Whether the graph carries an edge-weight array."""
+        return self.weights is not None
+
     # ------------------------------------------------------------- accessors
     def column_neighbors(self, v: int) -> np.ndarray:
         """Rows adjacent to column ``v`` (the paper's ``Γ(v)`` for ``v ∈ VC``)."""
@@ -124,6 +150,62 @@ class BipartiteGraph:
             raise IndexError(f"row index {u} out of range [0, {self.n_rows})")
         return self.row_ind[self.row_ptr[u] : self.row_ptr[u + 1]]
 
+    def column_weights(self, v: int) -> np.ndarray:
+        """Weights of the edges incident to column ``v``, parallel to
+        :meth:`column_neighbors`.
+
+        Raises ``ValueError`` when the graph carries no weights.
+        """
+        if self.weights is None:
+            raise ValueError(f"graph {self.name!r} has no edge weights")
+        if not 0 <= v < self.n_cols:
+            raise IndexError(f"column index {v} out of range [0, {self.n_cols})")
+        return self.weights[self.col_ptr[v] : self.col_ptr[v + 1]]
+
+    def row_aligned_weights(self) -> np.ndarray:
+        """The edge weights permuted into row-CSR order (parallel to ``row_ind``).
+
+        Computed once and cached (the arrays are immutable).  Raises
+        ``ValueError`` when the graph carries no weights.
+        """
+        if self.weights is None:
+            raise ValueError(f"graph {self.name!r} has no edge weights")
+        cached = self.__dict__.get("_row_aligned_weights")
+        if cached is None:
+            perm = np.lexsort((self.edge_columns(), self.col_ind))
+            cached = self.weights[perm]
+            cached.setflags(write=False)
+            object.__setattr__(self, "_row_aligned_weights", cached)
+        return cached
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of the edge between row ``u`` and column ``v``.
+
+        Raises ``ValueError`` when the graph has no weights or ``(u, v)`` is
+        not an edge.
+        """
+        if self.weights is None:
+            raise ValueError(f"graph {self.name!r} has no edge weights")
+        rows = self.column_neighbors(v)
+        idx = np.searchsorted(rows, u)
+        if not (idx < len(rows) and rows[idx] == u):
+            raise ValueError(f"({u}, {v}) is not an edge of graph {self.name!r}")
+        return float(self.weights[self.col_ptr[v] + idx])
+
+    def edge_columns(self) -> np.ndarray:
+        """Column index of every edge, parallel to ``col_ind`` (cached).
+
+        Together with ``col_ind`` (the row index of every edge) this is the
+        flat edge list in column-CSR order; the weighted solvers and the
+        certificate checks use it for vectorised per-edge sweeps.
+        """
+        cached = self.__dict__.get("_edge_columns")
+        if cached is None:
+            cached = np.repeat(np.arange(self.n_cols, dtype=np.int64), np.diff(self.col_ptr))
+            cached.setflags(write=False)
+            object.__setattr__(self, "_edge_columns", cached)
+        return cached
+
     def column_degrees(self) -> np.ndarray:
         """Degree of every column vertex."""
         return np.diff(self.col_ptr)
@@ -133,13 +215,16 @@ class BipartiteGraph:
         return np.diff(self.row_ptr)
 
     def content_hash(self) -> str:
-        """SHA-256 hex digest of the graph structure (shape + CSR arrays).
+        """SHA-256 hex digest of the graph content (shape + CSR arrays + weights).
 
-        Two graphs with identical vertex counts and adjacency hash equal
-        regardless of :attr:`name` (so :meth:`with_name` copies share the
-        hash).  Used by :mod:`repro.service` to memoize matching results
-        across repeated graphs.  The digest is cached after the first call —
-        the arrays are immutable.
+        Two graphs with identical vertex counts, adjacency and edge weights
+        hash equal regardless of :attr:`name` (so :meth:`with_name` copies
+        share the hash).  Used by :mod:`repro.service` to memoize matching
+        results across repeated graphs; folding the weights in keeps those
+        caches correct for same-structure / different-weight graphs.
+        Weightless graphs hash exactly as before weights existed, so
+        persistent disk caches stay valid.  The digest is cached after the
+        first call — the arrays are immutable.
         """
         cached = self.__dict__.get("_content_hash")
         if cached is None:
@@ -147,6 +232,9 @@ class BipartiteGraph:
             digest.update(f"bipartite:{self.n_rows}:{self.n_cols}:".encode("ascii"))
             for arr in (self.col_ptr, self.col_ind, self.row_ptr, self.row_ind):
                 digest.update(np.ascontiguousarray(arr).tobytes())
+            if self.weights is not None:
+                digest.update(b"weights:")
+                digest.update(np.ascontiguousarray(self.weights).tobytes())
             cached = digest.hexdigest()
             object.__setattr__(self, "_content_hash", cached)
         return cached
@@ -167,8 +255,7 @@ class BipartiteGraph:
 
     def edges(self) -> np.ndarray:
         """All edges as an ``(n_edges, 2)`` array of ``(row, col)`` pairs."""
-        cols = np.repeat(np.arange(self.n_cols, dtype=np.int64), self.column_degrees())
-        return np.column_stack([self.col_ind, cols])
+        return np.column_stack([self.col_ind, self.edge_columns()])
 
     def transpose(self) -> "BipartiteGraph":
         """The graph with the roles of rows and columns swapped."""
@@ -180,6 +267,7 @@ class BipartiteGraph:
             row_ptr=self.col_ptr,
             row_ind=self.col_ind,
             name=f"{self.name}^T",
+            weights=self.row_aligned_weights() if self.has_weights else None,
         )
 
     def with_name(self, name: str) -> "BipartiteGraph":
@@ -192,14 +280,48 @@ class BipartiteGraph:
             row_ptr=self.row_ptr,
             row_ind=self.row_ind,
             name=name,
+            weights=self.weights,
+        )
+
+    def with_weights(self, weights: np.ndarray | None) -> "BipartiteGraph":
+        """A copy of this graph (sharing index arrays) with new edge weights.
+
+        Parameters
+        ----------
+        weights:
+            One ``float`` per edge in column-CSR order (parallel to
+            ``col_ind``), or ``None`` to strip weights.
+
+        Returns
+        -------
+        BipartiteGraph
+
+        Raises
+        ------
+        ValueError
+            If ``weights`` has the wrong length or non-finite entries.
+        """
+        return BipartiteGraph(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            col_ptr=self.col_ptr,
+            col_ind=self.col_ind,
+            row_ptr=self.row_ptr,
+            row_ind=self.row_ind,
+            name=self.name,
+            weights=None if weights is None else np.array(weights, dtype=np.float64),
         )
 
     # ---------------------------------------------------------------- export
     def to_scipy_sparse(self):
-        """Biadjacency matrix as a ``scipy.sparse.csc_matrix`` of shape (n_rows, n_cols)."""
+        """Biadjacency matrix as a ``scipy.sparse.csc_matrix`` of shape (n_rows, n_cols).
+
+        Weighted graphs export their edge weights as the matrix values;
+        structural graphs export ones.
+        """
         from scipy import sparse
 
-        data = np.ones(self.n_edges, dtype=np.int8)
+        data = self.weights.copy() if self.has_weights else np.ones(self.n_edges, dtype=np.int8)
         return sparse.csc_matrix(
             (data, self.col_ind.copy(), self.col_ptr.copy()),
             shape=(self.n_rows, self.n_cols),
@@ -222,7 +344,8 @@ class BipartiteGraph:
 
     # ------------------------------------------------------------------ misc
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        weighted = ", weighted" if self.has_weights else ""
         return (
             f"BipartiteGraph(name={self.name!r}, n_rows={self.n_rows}, "
-            f"n_cols={self.n_cols}, n_edges={self.n_edges})"
+            f"n_cols={self.n_cols}, n_edges={self.n_edges}{weighted})"
         )

@@ -24,14 +24,23 @@ __all__ = [
 
 
 def _csr_from_pairs(
-    rows: np.ndarray, cols: np.ndarray, n_rows: int, n_cols: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Build (col_ptr, col_ind, row_ptr, row_ind) from deduplicated edge pairs."""
+    rows: np.ndarray,
+    cols: np.ndarray,
+    n_rows: int,
+    n_cols: int,
+    weights: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+    """Build (col_ptr, col_ind, row_ptr, row_ind, weights) from deduplicated pairs.
+
+    ``weights`` (one entry per input pair) comes back deduplicated in
+    column-CSR order; parallel edges keep the maximum weight.
+    """
     if len(rows) == 0:
         col_ptr = np.zeros(n_cols + 1, dtype=np.int64)
         row_ptr = np.zeros(n_rows + 1, dtype=np.int64)
         empty = np.empty(0, dtype=np.int64)
-        return col_ptr, empty, row_ptr, empty.copy()
+        out_weights = np.empty(0, dtype=np.float64) if weights is not None else None
+        return col_ptr, empty, row_ptr, empty.copy(), out_weights
 
     # Deduplicate: sort by (col, row) lexicographically and drop repeats.
     order = np.lexsort((rows, cols))
@@ -40,6 +49,12 @@ def _csr_from_pairs(
     keep = np.empty(len(rows), dtype=bool)
     keep[0] = True
     keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+    out_weights = None
+    if weights is not None:
+        # Reduce each run of duplicates to its maximum weight.
+        out_weights = np.maximum.reduceat(
+            np.asarray(weights, dtype=np.float64)[order], np.flatnonzero(keep)
+        )
     rows = rows[keep]
     cols = cols[keep]
 
@@ -57,7 +72,7 @@ def _csr_from_pairs(
     np.cumsum(row_counts, out=row_ptr[1:])
     row_ind = cols_t
 
-    return col_ptr, col_ind, row_ptr, row_ind
+    return col_ptr, col_ind, row_ptr, row_ind, out_weights
 
 
 def from_edges(
@@ -65,6 +80,7 @@ def from_edges(
     n_rows: int | None = None,
     n_cols: int | None = None,
     name: str = "bipartite",
+    weights: Iterable[float] | np.ndarray | None = None,
 ) -> BipartiteGraph:
     """Build a graph from an iterable of ``(row, col)`` pairs.
 
@@ -76,18 +92,35 @@ def from_edges(
         Vertex counts; inferred as ``max index + 1`` when omitted.
     name:
         Stored on the resulting graph; used in benchmark reports.
+    weights:
+        Optional edge weights, one per input pair.  Parallel edges are
+        deduplicated keeping the *maximum* weight (for matching, only the
+        best parallel edge can ever be used).
+
+    Returns
+    -------
+    BipartiteGraph
 
     Raises
     ------
     ValueError
-        If an edge references a vertex outside ``[0, n_rows) x [0, n_cols)``
-        or indices are negative.
+        If an edge references a vertex outside ``[0, n_rows) x [0, n_cols)``,
+        indices are negative, or ``weights`` does not have one entry per pair.
     """
     arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
     if arr.size == 0:
         arr = arr.reshape(0, 2)
     if arr.ndim != 2 or arr.shape[1] != 2:
         raise ValueError(f"edges must be an iterable of (row, col) pairs, got shape {arr.shape}")
+    if weights is not None:
+        weights = np.asarray(
+            list(weights) if not isinstance(weights, np.ndarray) else weights, dtype=np.float64
+        )
+        if weights.shape != (len(arr),):
+            raise ValueError(
+                f"weights must have one entry per edge pair ({len(arr)}), "
+                f"got shape {weights.shape}"
+            )
     rows = arr[:, 0]
     cols = arr[:, 1]
     if len(rows) and (rows.min() < 0 or cols.min() < 0):
@@ -101,7 +134,9 @@ def from_edges(
             f"edge indices exceed declared shape ({n_rows}, {n_cols}): "
             f"max row {inferred_rows - 1}, max col {inferred_cols - 1}"
         )
-    col_ptr, col_ind, row_ptr, row_ind = _csr_from_pairs(rows, cols, n_rows, n_cols)
+    col_ptr, col_ind, row_ptr, row_ind, col_weights = _csr_from_pairs(
+        rows, cols, n_rows, n_cols, weights
+    )
     return BipartiteGraph(
         n_rows=n_rows,
         n_cols=n_cols,
@@ -110,6 +145,7 @@ def from_edges(
         row_ptr=row_ptr,
         row_ind=row_ind,
         name=name,
+        weights=col_weights,
     )
 
 

@@ -38,14 +38,18 @@ def _open_text(path: str | Path, mode: str = "rt") -> TextIO:
     return open(path, mode)
 
 
-def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGraph:
+def read_matrix_market(
+    path: str | Path, name: str | None = None, *, with_weights: bool = False
+) -> BipartiteGraph:
     """Read a Matrix-Market ``coordinate`` file as a bipartite graph.
 
     The sparsity pattern defines the edges: entry ``(i, j)`` becomes an edge
-    between row vertex ``i`` and column vertex ``j``.  Numerical values are
-    ignored (the matching problem only uses structure).  Symmetric matrices
-    are expanded, matching how the paper builds bipartite graphs from square
-    matrices.
+    between row vertex ``i`` and column vertex ``j``.  By default numerical
+    values are ignored (cardinality matching only uses structure); with
+    ``with_weights=True`` the value entries of ``real`` / ``integer`` files
+    become edge weights for the :mod:`repro.weighted` solvers.  Symmetric
+    matrices are expanded, matching how the paper builds bipartite graphs
+    from square matrices.
 
     Parameters
     ----------
@@ -53,6 +57,18 @@ def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGr
         Path to a ``.mtx`` or ``.mtx.gz`` file.
     name:
         Name stored on the graph; defaults to the file stem.
+    with_weights:
+        Read value entries as edge weights.
+
+    Returns
+    -------
+    BipartiteGraph
+
+    Raises
+    ------
+    ValueError
+        Malformed files (each error names ``file:line``), or
+        ``with_weights=True`` on a ``pattern`` / ``complex`` file.
     """
     path = Path(path)
     graph_name = name if name is not None else path.name.removesuffix(".gz").removesuffix(".mtx")
@@ -75,6 +91,11 @@ def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGr
             raise ValueError(f"{path}: unsupported field {field!r}")
         if symmetry not in _SUPPORTED_SYMMETRIES:
             raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+        if with_weights and field not in ("real", "integer"):
+            raise ValueError(
+                f"{path}: with_weights=True needs a 'real' or 'integer' field "
+                f"(value entries), got {field!r}"
+            )
 
         # Skip comments, read the size line.
         line = handle.readline()
@@ -91,6 +112,7 @@ def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGr
 
         rows = np.empty(n_entries, dtype=np.int64)
         cols = np.empty(n_entries, dtype=np.int64)
+        values = np.empty(n_entries, dtype=np.float64) if with_weights else None
         count = 0
         for line in handle:
             lineno += 1
@@ -111,6 +133,18 @@ def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGr
                 raise ValueError(
                     f"{path}:{lineno}: non-integer indices in entry line {line!r}"
                 ) from None
+            if with_weights:
+                if len(tokens) < 3:
+                    raise ValueError(
+                        f"{path}:{lineno}: entry line {line!r} has no value "
+                        "(expected 'row col value')"
+                    )
+                try:
+                    values[count] = float(tokens[2])
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{lineno}: non-numeric value in entry line {line!r}"
+                    ) from None
             if not 1 <= i <= n_rows:
                 raise ValueError(
                     f"{path}:{lineno}: row index {i} outside the declared size "
@@ -131,21 +165,35 @@ def read_matrix_market(path: str | Path, name: str | None = None) -> BipartiteGr
         off_diag = rows != cols
         rows = np.concatenate([rows, cols[off_diag]])
         cols = np.concatenate([cols, rows[: count][off_diag]])
+        if values is not None:
+            mirrored = values[off_diag]
+            if symmetry == "skew-symmetric":
+                mirrored = -mirrored  # A[j,i] = -A[i,j]
+            values = np.concatenate([values, mirrored])
     edges = np.column_stack([rows, cols])
-    return from_edges(edges, n_rows=n_rows, n_cols=n_cols, name=graph_name)
+    return from_edges(edges, n_rows=n_rows, n_cols=n_cols, name=graph_name, weights=values)
 
 
 def write_matrix_market(graph: BipartiteGraph, path: str | Path) -> None:
-    """Write the graph's biadjacency pattern as a Matrix-Market coordinate file.
+    """Write the graph as a Matrix-Market coordinate file.
 
+    Structural graphs are written as ``pattern`` files; weighted graphs as
+    ``real`` files whose value entries are the edge weights (the ``%.17g``
+    format round-trips ``float64`` exactly, so
+    ``read_matrix_market(..., with_weights=True)`` recovers the same graph).
     A ``.gz`` suffix (e.g. ``matrix.mtx.gz``) writes gzip-compressed text,
     mirroring what :func:`read_matrix_market` accepts.
     """
     path = Path(path)
     edges = graph.edges()
+    field = "real" if graph.has_weights else "pattern"
     with _open_text(path, "wt") as handle:
-        handle.write("%%MatrixMarket matrix coordinate pattern general\n")
+        handle.write(f"%%MatrixMarket matrix coordinate {field} general\n")
         handle.write(f"% written by repro ({graph.name})\n")
         handle.write(f"{graph.n_rows} {graph.n_cols} {graph.n_edges}\n")
-        for u, v in edges:
-            handle.write(f"{int(u) + 1} {int(v) + 1}\n")
+        if graph.has_weights:
+            for (u, v), w in zip(edges, graph.weights):
+                handle.write(f"{int(u) + 1} {int(v) + 1} {w:.17g}\n")
+        else:
+            for u, v in edges:
+                handle.write(f"{int(u) + 1} {int(v) + 1}\n")

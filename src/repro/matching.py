@@ -192,6 +192,10 @@ class MatchingResult:
         algorithm does not provide a cost model.
     wall_time:
         Wall-clock seconds spent by this Python implementation.
+    duals:
+        Optional optimality certificate attached by the weighted solvers (a
+        :class:`repro.weighted.DualCertificate`); ``None`` for cardinality
+        algorithms.  Its arrays are immutable, so copies may share them.
     """
 
     algorithm: str
@@ -200,6 +204,7 @@ class MatchingResult:
     counters: dict = field(default_factory=dict)
     modeled_time: float | None = None
     wall_time: float = 0.0
+    duals: object | None = None
 
     def copy(self) -> "MatchingResult":
         """A deep-enough copy: private matching arrays and counters dict.
@@ -214,6 +219,7 @@ class MatchingResult:
             counters=dict(self.counters),
             modeled_time=self.modeled_time,
             wall_time=self.wall_time,
+            duals=self.duals,
         )
 
     @classmethod
@@ -224,6 +230,7 @@ class MatchingResult:
         counters: dict | None = None,
         modeled_time: float | None = None,
         wall_time: float = 0.0,
+        duals: object | None = None,
     ) -> "MatchingResult":
         """Build a result, canonicalising the matching and caching its cardinality."""
         canonical = matching.canonical()
@@ -234,4 +241,5 @@ class MatchingResult:
             counters=dict(counters or {}),
             modeled_time=modeled_time,
             wall_time=wall_time,
+            duals=duals,
         )

@@ -95,7 +95,23 @@ class MatchingService:
 
     # ----------------------------------------------------------------- public
     def submit(self, job: MatchingJob) -> JobResult:
-        """Execute a single job (one-element batch)."""
+        """Execute a single job (one-element batch).
+
+        Parameters
+        ----------
+        job:
+            The :class:`~repro.engine.job.MatchingJob` to execute.
+
+        Returns
+        -------
+        JobResult
+            The job's result with its cache/worker provenance.
+
+        Raises
+        ------
+        ValueError / TypeError
+            As :meth:`submit_batch` — invalid jobs fail before executing.
+        """
         return self.submit_batch([job]).results[0]
 
     def submit_batch(self, jobs: Sequence[MatchingJob]) -> BatchReport:
@@ -103,10 +119,32 @@ class MatchingService:
 
         The batch is served in three tiers: cross-batch cache hits,
         intra-batch duplicates (executed once), and genuine misses (executed
-        on the engine's backend).  Invalid jobs — unknown algorithm or
-        keyword arguments — raise before anything executes; *runtime*
-        failures are isolated per job (``status="failed"`` with the captured
-        error) and never abort the batch.
+        on the engine's backend).
+
+        Parameters
+        ----------
+        jobs:
+            The jobs to execute.  Jobs on weighted graphs key their cache
+            entries on the weights too (via
+            :meth:`~repro.graph.bipartite.BipartiteGraph.content_hash`), so
+            same-structure / different-weight graphs never collide.
+
+        Returns
+        -------
+        BatchReport
+            Per-job :class:`JobResult` objects in submission order plus the
+            ``executed`` / ``cache_hits`` / ``deduplicated`` / ``failed``
+            tallies and the batch wall time.
+
+        Raises
+        ------
+        ValueError
+            Unknown algorithm name on any job (nothing executes).
+        TypeError
+            Unknown keyword arguments or an inapplicable warm-start on any
+            job (nothing executes).  *Runtime* failures never raise — they
+            are isolated per job (``status="failed"`` with the captured
+            error) while siblings complete normally.
         """
         jobs = list(jobs)
         started = time.perf_counter()

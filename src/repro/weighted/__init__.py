@@ -1,0 +1,37 @@
+"""Weighted bipartite matching: maximum-weight / minimum-cost assignment.
+
+The subsystem solves, on the same dual-CSR graphs as the cardinality
+algorithms, the **optimal-weight maximum-cardinality matching** problem:
+among all maximum-cardinality matchings, find one of maximum (or, with
+``objective="min"``, minimum) total edge weight.  Two solvers are
+registered in :data:`repro.core.api.SPECS` and therefore flow through
+``resolve_algorithm()`` / ``ExecutionPlan``, the execution engine, the
+batched service and the CLI unchanged:
+
+* ``weighted-sap`` — sequential shortest augmenting paths with dual
+  variables (:mod:`repro.weighted.sap`), the exact reference solver;
+* ``weighted-auction`` — ε-scaling auction (:mod:`repro.weighted.auction`)
+  whose Jacobi bidding rounds map onto the virtual GPU's kernel cost model.
+
+Both return LP dual variables on the result (``result.duals``), and
+:func:`repro.weighted.verify.certify_optimal` certifies optimality from
+them via complementary slackness.
+"""
+
+from repro.weighted.auction import AuctionConfig, weighted_auction_matching
+from repro.weighted.duals import AuctionCertificate, DualCertificate, effective_weights
+from repro.weighted.sap import SAPConfig, weighted_sap_matching
+from repro.weighted.verify import CertificateReport, certify_optimal, matching_total_weight
+
+__all__ = [
+    "AuctionCertificate",
+    "AuctionConfig",
+    "CertificateReport",
+    "DualCertificate",
+    "SAPConfig",
+    "certify_optimal",
+    "effective_weights",
+    "matching_total_weight",
+    "weighted_auction_matching",
+    "weighted_sap_matching",
+]

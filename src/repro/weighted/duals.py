@@ -1,0 +1,173 @@
+"""Dual certificates for the weighted matching solvers.
+
+Both weighted solvers return, alongside the matching itself, LP dual
+variables that *certify* optimality through complementary slackness.  The
+objective they certify is always
+
+    maximise   Σ ŵ(u, v)   over maximum-cardinality matchings,
+
+where ``ŵ`` are the *effective* weights: the graph's edge weights for
+``objective="max"``, their negation for ``objective="min"``, and unit
+weights when the graph carries none.  Two certificate forms exist, one per
+solver; :func:`repro.weighted.verify.certify_optimal` understands both.
+
+**Reduced form** (:class:`DualCertificate`, produced by the SAP solver).
+Duals ``(λ, π, ρ)`` of the cardinality-constrained assignment LP.  The
+complementary-slackness conditions, all checked by the verifier:
+
+1. feasibility: ``π[u] + ρ[v] + λ ≥ ŵ(u, v)`` for every edge,
+2. tightness:   equality on every matched edge,
+3. sign:        ``π ≥ 0`` and ``ρ ≥ 0``,
+4. support:     ``π[u] = 0`` on unmatched rows, ``ρ[v] = 0`` on unmatched
+   columns,
+5. the matching has maximum cardinality.
+
+Together these prove every other maximum-cardinality matching ``M'``
+satisfies ``ŵ(M') ≤ ŵ(M)``: summing (1) over ``M'`` and using (3) gives
+``ŵ(M') ≤ kλ + Σπ + Σρ``, which by (4) and (2) equals ``ŵ(M)``.
+
+**Augmented form** (:class:`AuctionCertificate`, produced by the auction
+solver).  The auction solves the classic *square augmented* assignment
+problem (see :mod:`repro.weighted.auction`) in which a perfect assignment
+always exists, so the free-vertex conditions disappear: the certificate is
+ε-complementary-slackness of the augmented perfect assignment — profits
+``π`` on persons and prices ``p`` on objects with ``π + p ≥ w_aug − ε`` on
+every augmented edge and equality on assigned pairs.  The verifier turns the
+*measured* violations into an explicit bound on the real matching's weight
+suboptimality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "AuctionCertificate",
+    "DualCertificate",
+    "effective_weights",
+    "matching_total_weight",
+]
+
+_OBJECTIVES = ("max", "min")
+
+
+def effective_weights(graph, objective: str = "max", *, row_aligned: bool = False) -> np.ndarray:
+    """The effective weights ``ŵ`` every certificate refers to.
+
+    The graph's edge weights for ``objective="max"``, their negation for
+    ``objective="min"``, and unit weights when the graph carries none (so the
+    weighted solvers degrade gracefully to cardinality matching on purely
+    structural graphs).  ``row_aligned`` returns them parallel to
+    ``graph.row_ind`` instead of ``graph.col_ind``.
+    """
+    _check_objective(objective)
+    if not graph.has_weights:
+        return np.ones(graph.n_edges, dtype=np.float64)
+    weights = graph.row_aligned_weights() if row_aligned else graph.weights
+    return -weights if objective == "min" else weights.astype(np.float64, copy=True)
+
+
+def matching_total_weight(graph, matching) -> float:
+    """Total weight of ``matching`` under the graph's original weights.
+
+    Parameters
+    ----------
+    graph:
+        The graph the matching belongs to.  Weightless graphs count unit
+        weights, so the total equals the cardinality.
+    matching:
+        A consistent matching of ``graph``.  Matched pairs that are not
+        edges contribute nothing — structural validity is checked separately
+        (see :func:`repro.weighted.verify.certify_optimal`), not here.
+
+    Returns
+    -------
+    float
+    """
+    row_match = np.asarray(matching.row_match)
+    if not graph.has_weights:
+        return float(np.count_nonzero(row_match >= 0))
+    # An edge (u, v) is matched iff row_match[u] == v; one vectorised pass
+    # over the column-CSR edge list covers every matched pair exactly once.
+    return float(graph.weights[row_match[graph.col_ind] == graph.edge_columns()].sum())
+
+
+def _check_objective(objective: str) -> str:
+    if objective not in _OBJECTIVES:
+        raise ValueError(
+            f"objective must be one of {_OBJECTIVES}, got {objective!r}"
+        )
+    return objective
+
+
+def _frozen_float_array(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    arr.setflags(write=False)
+    return arr
+
+
+@dataclass(frozen=True)
+class DualCertificate:
+    """Reduced-form duals ``(λ, π, ρ)`` (see the module docstring).
+
+    Attributes
+    ----------
+    objective:
+        ``"max"`` or ``"min"`` — which user objective the effective weights
+        encode.
+    lam:
+        Scalar dual ``λ`` of the cardinality constraint.
+    row_duals, col_duals:
+        ``π`` (one per row vertex) and ``ρ`` (one per column vertex).
+    """
+
+    objective: str
+    lam: float
+    row_duals: np.ndarray
+    col_duals: np.ndarray
+
+    def __post_init__(self) -> None:
+        _check_objective(self.objective)
+        object.__setattr__(self, "row_duals", _frozen_float_array(self.row_duals))
+        object.__setattr__(self, "col_duals", _frozen_float_array(self.col_duals))
+
+
+@dataclass(frozen=True)
+class AuctionCertificate:
+    """Augmented-form ε-CS duals of the auction solver.
+
+    The augmented square problem has ``n_rows + n_cols`` persons (real rows,
+    then one artificial person per column) and as many objects (real
+    columns, then one artificial object per row); see
+    :func:`repro.weighted.auction.build_augmented_problem` for the exact
+    edge set, which the verifier reconstructs deterministically from the
+    graph.
+
+    Attributes
+    ----------
+    objective:
+        ``"max"`` or ``"min"``.
+    epsilon:
+        Final ε of the scaling loop — the slack admitted by the ε-CS
+        conditions.
+    person_profits, object_prices:
+        Dual arrays over augmented persons / objects.
+    person_match:
+        The augmented perfect assignment: object index per person.
+    """
+
+    objective: str
+    epsilon: float
+    person_profits: np.ndarray
+    object_prices: np.ndarray
+    person_match: np.ndarray
+
+    def __post_init__(self) -> None:
+        _check_objective(self.objective)
+        object.__setattr__(self, "person_profits", _frozen_float_array(self.person_profits))
+        object.__setattr__(self, "object_prices", _frozen_float_array(self.object_prices))
+        match = np.asarray(self.person_match, dtype=np.int64)
+        match.setflags(write=False)
+        object.__setattr__(self, "person_match", match)

@@ -260,3 +260,202 @@ def test_cli_stream_requires_exactly_one_source(capsys):
     assert main(["stream", "--graph", "roadNet-PA", "--trace", "x.jsonl",
                  "--synthesize", "5"]) == 2
     assert "exactly one of" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------- weighted CLI
+def test_cli_run_weighted(capsys):
+    assert main([
+        "run", "--graph", "amazon0505", "--profile", "tiny",
+        "--algorithm", "weighted-sap", "--weights", "uniform:1:50",
+        "--objective", "min",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["algorithm"] == "W-SAP"
+    assert payload["objective"] == "min"
+    assert payload["total_weight"] >= payload["cardinality"]  # weights start at 1
+
+
+def test_cli_run_weighted_mtx_values(tmp_path, capsys):
+    import numpy as np
+
+    from repro.generators import uniform_random_bipartite, uniform_weights
+    from repro.graph import read_matrix_market, write_matrix_market
+
+    graph = uniform_weights(
+        uniform_random_bipartite(20, 20, avg_degree=3.0, seed=1), seed=2
+    )
+    path = tmp_path / "w.mtx"
+    write_matrix_market(graph, path)
+    assert main([
+        "run", "--mtx", str(path), "--algorithm", "weighted-auction",
+        "--weights", "values",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    from repro.weighted import weighted_sap_matching
+
+    reread = read_matrix_market(path, with_weights=True)
+    expected = weighted_sap_matching(reread).counters["total_weight"]
+    assert payload["total_weight"] == pytest.approx(expected)
+    assert np.isfinite(payload["total_weight"])
+
+
+def test_cli_run_objective_rejected_for_cardinality_algorithms(capsys):
+    code = main([
+        "run", "--graph", "amazon0505", "--profile", "tiny",
+        "--algorithm", "pr", "--objective", "min",
+    ])
+    assert code == 2
+    assert "unexpected keyword" in capsys.readouterr().err
+
+
+def test_cli_batch_weighted_manifest(tmp_path, capsys):
+    manifest = tmp_path / "jobs.jsonl"
+    manifest.write_text(
+        '{"graph": "roadNet-PA", "algorithm": "weighted-sap", '
+        '"weights": "uniform:1:9", "objective": "max", "id": "sap"}\n'
+        '{"graph": "roadNet-PA", "algorithm": "weighted-auction", '
+        '"weights": "uniform:1:9", "objective": "max", "id": "auction"}\n'
+    )
+    assert main([
+        "batch", "--manifest", str(manifest), "--profile", "tiny",
+        "--no-cache", "--format", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    by_id = {row["id"]: row for row in payload["results"]}
+    assert by_id["sap"]["status"] == by_id["auction"]["status"] == "ok"
+    assert by_id["sap"]["cardinality"] == by_id["auction"]["cardinality"]
+
+
+def test_cli_run_unknown_graph_is_a_clean_error(capsys):
+    # Regression: an unknown suite instance used to escape as a raw KeyError
+    # traceback from `run` (batch and stream already caught it).
+    assert main(["run", "--graph", "nonsense", "--profile", "tiny"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_batch_generates_structural_graph_once_across_weight_specs(
+    tmp_path, capsys, monkeypatch
+):
+    # Regression: keying the memo on the weight spec regenerated the same
+    # structural instance once per distinct spec.
+    import repro.cli as cli_module
+
+    calls = []
+    original = cli_module.generate_instance
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(cli_module, "generate_instance", counting)
+    manifest = tmp_path / "jobs.jsonl"
+    manifest.write_text(
+        '{"graph": "roadNet-PA", "algorithm": "weighted-sap", "weights": "uniform:1:9"}\n'
+        '{"graph": "roadNet-PA", "algorithm": "weighted-sap", "weights": "geometric:0.2"}\n'
+        '{"graph": "roadNet-PA", "algorithm": "pr"}\n'
+    )
+    assert main(["batch", "--manifest", str(manifest), "--profile", "tiny",
+                 "--no-cache"]) == 0
+    capsys.readouterr()
+    assert len(calls) == 1
+
+
+def test_cli_batch_rejects_bad_weight_spec(tmp_path, capsys):
+    manifest = tmp_path / "jobs.jsonl"
+    manifest.write_text('{"graph": "roadNet-PA", "weights": "gaussian", "id": "x"}\n')
+    assert main(["batch", "--manifest", str(manifest), "--profile", "tiny"]) == 2
+    assert "unknown weight spec" in capsys.readouterr().err
+
+
+def test_cli_batch_objective_default_only_touches_weighted_jobs(tmp_path, capsys):
+    # Regression: the CLI-level --objective default used to be folded into
+    # every job's kwargs, so mixed manifests failed on the cardinality jobs.
+    manifest = tmp_path / "jobs.jsonl"
+    manifest.write_text(
+        '{"graph": "roadNet-PA", "algorithm": "weighted-sap", '
+        '"weights": "uniform:1:9", "id": "w"}\n'
+        '{"graph": "roadNet-PA", "algorithm": "pr", "id": "card"}\n'
+    )
+    assert main([
+        "batch", "--manifest", str(manifest), "--profile", "tiny",
+        "--no-cache", "--objective", "min", "--format", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert all(row["status"] == "ok" for row in payload["results"])
+    # An explicit per-line objective on a cardinality job still fails fast.
+    manifest.write_text('{"graph": "roadNet-PA", "algorithm": "pr", "objective": "min"}\n')
+    assert main(["batch", "--manifest", str(manifest), "--profile", "tiny"]) == 2
+    assert "unexpected keyword" in capsys.readouterr().err
+
+
+def test_cli_batch_weights_default_only_touches_weighted_jobs(tmp_path, capsys):
+    # Regression: the --weights default used to re-weight cardinality jobs'
+    # graphs too, changing their cache keys (and 'values' aborted the batch).
+    manifest = tmp_path / "jobs.jsonl"
+    manifest.write_text(
+        '{"graph": "roadNet-PA", "algorithm": "weighted-sap", "id": "w"}\n'
+        '{"graph": "roadNet-PA", "algorithm": "pr", "id": "card"}\n'
+    )
+    assert main([
+        "batch", "--manifest", str(manifest), "--profile", "tiny",
+        "--no-cache", "--weights", "uniform:1:9", "--format", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert all(row["status"] == "ok" for row in payload["results"])
+    # The weighted job saw the weights; totals differ from plain cardinality.
+    by_id = {row["id"]: row for row in payload["results"]}
+    assert by_id["w"]["cardinality"] == by_id["card"]["cardinality"]
+
+
+def test_cli_batch_values_spec_requires_mtx_source(tmp_path, capsys, monkeypatch):
+    # Regression: weights="values" on a suite instance only failed in phase 2,
+    # after graph generation; also spec kinds are case-insensitive.
+    import repro.cli as cli_module
+
+    monkeypatch.setattr(
+        cli_module, "generate_instance",
+        lambda *a, **k: (_ for _ in ()).throw(AssertionError("graph built")),
+    )
+    manifest = tmp_path / "jobs.jsonl"
+    manifest.write_text('{"graph": "roadNet-PA", "weights": "VALUES", "id": "x"}\n')
+    assert main(["batch", "--manifest", str(manifest), "--profile", "tiny"]) == 2
+    assert "needs an 'mtx' source" in capsys.readouterr().err
+
+
+def test_cli_run_values_spec_is_case_insensitive(tmp_path, capsys):
+    import numpy as np
+
+    from repro.generators import uniform_random_bipartite, uniform_weights
+    from repro.graph import write_matrix_market
+
+    graph = uniform_weights(
+        uniform_random_bipartite(15, 15, avg_degree=3.0, seed=3), seed=4
+    )
+    path = tmp_path / "w.mtx"
+    write_matrix_market(graph, path)
+    assert main([
+        "run", "--mtx", str(path), "--algorithm", "weighted-sap", "--weights", "Values",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert np.isfinite(payload["total_weight"]) and payload["total_weight"] > 0
+
+
+def test_cli_batch_rejects_bad_weight_spec_before_building_graphs(
+    tmp_path, capsys, monkeypatch
+):
+    # Regression: a bad spec on the last line used to surface only in phase 2,
+    # after every earlier graph had been generated.
+    import repro.cli as cli_module
+
+    def exploding(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("graph generation ran before manifest validation finished")
+
+    monkeypatch.setattr(cli_module, "generate_instance", exploding)
+    manifest = tmp_path / "jobs.jsonl"
+    manifest.write_text(
+        '{"graph": "roadNet-PA", "id": "ok"}\n'
+        '{"graph": "roadNet-PA", "weights": "uniform:a:b", "id": "bad"}\n'
+    )
+    assert main(["batch", "--manifest", str(manifest), "--profile", "tiny"]) == 2
+    err = capsys.readouterr().err
+    assert ":2: malformed weight spec" in err

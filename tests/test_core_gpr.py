@@ -218,6 +218,19 @@ def test_api_unknown_algorithm(tiny_graph):
         max_bipartite_matching(tiny_graph, algorithm="quantum")
 
 
+def test_api_unknown_algorithm_suggests_nearest_name():
+    # Regression: the unknown-algorithm error used to only dump the registry;
+    # a near-miss now also names the closest registered algorithm.
+    with pytest.raises(ValueError, match=r"did you mean 'hkdw'\?"):
+        resolve_algorithm("hkwd")
+    with pytest.raises(ValueError, match=r"did you mean 'weighted-sap'\?"):
+        resolve_algorithm("weighted_sap")
+    # No plausible near-miss: no suggestion, but the full list still shows.
+    with pytest.raises(ValueError, match=r"available: ") as excinfo:
+        resolve_algorithm("zzzzzz")
+    assert "did you mean" not in str(excinfo.value)
+
+
 def test_api_algorithm_registry_complete():
     for name in MAXIMUM_ALGORITHMS:
         assert name in SPECS

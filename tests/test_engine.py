@@ -123,6 +123,28 @@ def test_invalid_jobs_raise_at_submit(family_graphs):
             engine.submit(MatchingJob(graph=g, algorithm="cheap", initial="karp-sipser"))
 
 
+def test_map_validates_every_job_before_executing_any(family_graphs, monkeypatch):
+    # Regression: map() used to submit one-by-one, so jobs ahead of an
+    # invalid one were already executing when the error raised; it now
+    # validates the whole list before the first submission.
+    executed = []
+    original = execution_mod.execute_job
+
+    def counting(job, plan=None, initial_matching=None):
+        executed.append(job.job_id)
+        return original(job, plan, initial_matching)
+
+    monkeypatch.setattr(execution_mod, "execute_job", counting)
+    g = family_graphs[0]
+    with Engine() as engine:
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            engine.map([
+                MatchingJob(graph=g, algorithm="hk", job_id="ok"),
+                MatchingJob(graph=g, algorithm="quantum", job_id="bad"),
+            ])
+    assert executed == []
+
+
 # --------------------------------------------------------------- cancellation
 def test_cancel_pending_job(family_graphs, monkeypatch):
     g = family_graphs[0]

@@ -14,6 +14,7 @@ from repro.graph import (
     validate_graph,
     write_matrix_market,
 )
+from repro.generators import uniform_random_bipartite
 from repro.graph.stats import degree_statistics
 from repro.graph.validate import GraphValidationError
 
@@ -205,3 +206,86 @@ def test_matrix_market_entry_outside_declared_size(tmp_path):
         ValueError, match=r"oob\.mtx:3: column index 0 outside the declared size 2"
     ):
         read_matrix_market(path)
+
+
+# ------------------------------------------------------------ edge weights
+def test_from_edges_weights_deduplicate_to_maximum():
+    graph = from_edges(
+        [(0, 0), (0, 1), (0, 0)], n_rows=2, n_cols=2, weights=[1.0, 2.0, 7.0]
+    )
+    assert graph.has_weights
+    assert graph.edge_weight(0, 0) == 7.0  # parallel edges keep the best weight
+    assert graph.edge_weight(0, 1) == 2.0
+    with pytest.raises(ValueError, match="one entry per edge pair"):
+        from_edges([(0, 0)], n_rows=1, n_cols=1, weights=[1.0, 2.0])
+
+
+def test_content_hash_distinguishes_weights():
+    edges = [(0, 0), (0, 1), (1, 1)]
+    bare = from_edges(edges, n_rows=2, n_cols=2)
+    light = from_edges(edges, n_rows=2, n_cols=2, weights=[1.0, 2.0, 3.0])
+    heavy = from_edges(edges, n_rows=2, n_cols=2, weights=[9.0, 2.0, 3.0])
+    # Same structure, different weights: three distinct cache identities ...
+    assert len({bare.content_hash(), light.content_hash(), heavy.content_hash()}) == 3
+    # ... and weightless graphs hash as before weights existed (the name
+    # never participates), so stripping the weights restores the old key.
+    assert light.with_weights(None).content_hash() == bare.content_hash()
+    assert light.with_name("renamed").content_hash() == light.content_hash()
+    same = from_edges(edges, n_rows=2, n_cols=2, weights=[1.0, 2.0, 3.0])
+    assert same.content_hash() == light.content_hash()
+
+
+@pytest.mark.parametrize("suffix", ["mtx", "mtx.gz"])
+def test_matrix_market_weighted_roundtrip(tmp_path, suffix):
+    rng = np.random.default_rng(5)
+    base = uniform_random_bipartite(40, 35, avg_degree=3.0, seed=6)
+    graph = base.with_weights(rng.uniform(-3.0, 9.0, base.n_edges))
+    path = tmp_path / f"weighted.{suffix}"
+    write_matrix_market(graph, path)
+    back = read_matrix_market(path, with_weights=True)
+    assert np.array_equal(back.weights, graph.weights)  # %.17g round-trips exactly
+    assert back.content_hash() == graph.content_hash()
+    # Write → read → write → read reaches a fixed point.
+    again = tmp_path / f"again.{suffix}"
+    write_matrix_market(back, again)
+    assert read_matrix_market(again, with_weights=True).content_hash() == graph.content_hash()
+    # Reading the same file without weights recovers the bare structure.
+    assert read_matrix_market(path).content_hash() == base.content_hash()
+
+
+def test_matrix_market_weighted_symmetric_expansion(tmp_path):
+    path = tmp_path / "sym.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 4.5\n3 3 2.0\n"
+    )
+    graph = read_matrix_market(path, with_weights=True)
+    assert graph.edge_weight(1, 0) == 4.5
+    assert graph.edge_weight(0, 1) == 4.5  # mirrored entry carries the value
+    assert graph.edge_weight(2, 2) == 2.0
+
+
+def test_matrix_market_weighted_skew_symmetric_negates_mirror(tmp_path):
+    # Regression: the mirrored entry of a skew-symmetric value file is -A[i,j]
+    # per the Matrix-Market spec; it used to be copied with the wrong sign.
+    path = tmp_path / "skew.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 1\n2 1 4.5\n"
+    )
+    graph = read_matrix_market(path, with_weights=True)
+    assert graph.edge_weight(1, 0) == 4.5
+    assert graph.edge_weight(0, 1) == -4.5
+
+
+def test_matrix_market_weight_errors(tmp_path):
+    path = tmp_path / "pat.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n")
+    with pytest.raises(ValueError, match="with_weights=True needs a 'real' or 'integer'"):
+        read_matrix_market(path, with_weights=True)
+    path = tmp_path / "noval.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n")
+    with pytest.raises(ValueError, match=r"noval\.mtx:3: .* has no value"):
+        read_matrix_market(path, with_weights=True)
+    path = tmp_path / "badval.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n")
+    with pytest.raises(ValueError, match=r"badval\.mtx:3: non-numeric value"):
+        read_matrix_market(path, with_weights=True)

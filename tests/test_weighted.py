@@ -1,0 +1,300 @@
+"""Tests for the weighted matching subsystem (:mod:`repro.weighted`).
+
+Covers the acceptance criteria of the subsystem: both solvers are registered
+in ``SPECS``, agree on the total weight across Inline/Thread/ProcessPool
+backends on several generator families, and every returned matching passes
+the complementary-slackness certificate in :mod:`repro.weighted.verify`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import SPECS, max_bipartite_matching, resolve_algorithm
+from repro.engine import Engine, MatchingJob
+from repro.generators import (
+    chung_lu_bipartite,
+    geometric_weights,
+    rank_correlated_weights,
+    road_network_graph,
+    uniform_random_bipartite,
+    uniform_weights,
+)
+from repro.generators.weights import apply_weight_spec
+from repro.graph.builders import empty_graph, from_edges
+from repro.gpusim.device import DeviceSpec, VirtualGPU
+from repro.matching import Matching
+from repro.seq.verify import is_valid_matching, maximum_matching_cardinality
+from repro.service import MatchingService
+from repro.weighted import (
+    AuctionConfig,
+    SAPConfig,
+    certify_optimal,
+    matching_total_weight,
+    weighted_auction_matching,
+    weighted_sap_matching,
+)
+
+WEIGHTED = ("weighted-sap", "weighted-auction")
+
+# ε-CS certificates prove a gap of N·ε < 0.45 < 1; with the integral weights
+# used throughout, any gap below 1 certifies exact optimality.
+GAP_TOL = 0.999
+
+
+def _families():
+    return {
+        "uniform": uniform_weights(
+            uniform_random_bipartite(120, 130, avg_degree=4.0, seed=11), seed=1
+        ),
+        "powerlaw-geometric": geometric_weights(
+            chung_lu_bipartite(110, 100, avg_degree=5.0, seed=12), p=0.1, seed=2
+        ),
+        "road-rank": rank_correlated_weights(road_network_graph(120, seed=13), seed=3),
+    }
+
+
+# ----------------------------------------------------------------- registry
+def test_weighted_specs_registered():
+    for name in WEIGHTED:
+        assert name in SPECS
+        spec = SPECS[name]
+        assert spec.maximum and spec.weighted and not spec.accepts_initial
+    assert SPECS["weighted-auction"].accepts_device
+    assert not SPECS["weighted-sap"].accepts_device
+
+
+def test_weighted_rejects_warm_start(tiny_graph):
+    for name in WEIGHTED:
+        with pytest.raises(TypeError, match="does not accept a warm-start"):
+            resolve_algorithm(name).run(tiny_graph, initial=Matching.empty(tiny_graph))
+
+
+def test_objective_validated(tiny_graph):
+    with pytest.raises(ValueError, match="objective"):
+        max_bipartite_matching(tiny_graph, "weighted-sap", objective="median")
+
+
+# ------------------------------------------------- optimality + certificates
+def test_solvers_agree_and_certify_across_families():
+    for family, graph in _families().items():
+        reference = maximum_matching_cardinality(graph)
+        for objective in ("max", "min"):
+            sap = weighted_sap_matching(graph, SAPConfig(objective=objective))
+            auc = weighted_auction_matching(graph, AuctionConfig(objective=objective))
+            for result in (sap, auc):
+                assert is_valid_matching(graph, result.matching), (family, objective)
+                assert result.cardinality == reference, (family, objective)
+                report = certify_optimal(graph, result.matching, result.duals)
+                assert report.ok(GAP_TOL), (family, objective, report)
+            assert sap.counters["total_weight"] == pytest.approx(
+                auc.counters["total_weight"]
+            ), (family, objective)
+
+
+def test_exact_against_brute_force():
+    rng = np.random.default_rng(7)
+    for trial in range(25):
+        n_rows, n_cols = int(rng.integers(2, 6)), int(rng.integers(2, 6))
+        n_edges = int(rng.integers(1, n_rows * n_cols + 1))
+        pairs = np.column_stack(
+            [rng.integers(0, n_rows, n_edges), rng.integers(0, n_cols, n_edges)]
+        )
+        weights = rng.integers(1, 30, n_edges).astype(float)
+        graph = from_edges(pairs, n_rows=n_rows, n_cols=n_cols, weights=weights)
+        best_k, best_w = _brute_force(graph, "max")
+        for solve in (weighted_sap_matching, weighted_auction_matching):
+            result = solve(graph)
+            assert result.cardinality == best_k, trial
+            assert result.counters["total_weight"] == pytest.approx(best_w), trial
+
+
+def _brute_force(graph, objective):
+    """Exhaustive optimal (cardinality, weight) for tiny graphs."""
+    edges = [(int(u), int(v)) for u, v in graph.edges()]
+    best = (0, 0.0)
+
+    def rec(idx, used_rows, used_cols, k, total):
+        nonlocal best
+        better = k > best[0] or (
+            k == best[0]
+            and (total > best[1] if objective == "max" else total < best[1])
+        )
+        if better:
+            best = (k, total)
+        for t in range(idx, len(edges)):
+            u, v = edges[t]
+            if u in used_rows or v in used_cols:
+                continue
+            rec(t + 1, used_rows | {u}, used_cols | {v}, k + 1,
+                total + graph.edge_weight(u, v))
+
+    rec(0, frozenset(), frozenset(), 0, 0.0)
+    return best
+
+
+def test_min_objective_mirrors_negated_max():
+    graph = uniform_weights(
+        uniform_random_bipartite(60, 60, avg_degree=3.0, seed=21), seed=4
+    )
+    negated = graph.with_weights(-graph.weights)
+    lo = weighted_sap_matching(graph, SAPConfig(objective="min"))
+    hi = weighted_sap_matching(negated, SAPConfig(objective="max"))
+    assert lo.counters["total_weight"] == pytest.approx(-hi.counters["total_weight"])
+
+
+def test_unit_weight_fallback_is_cardinality(family_graph):
+    reference = maximum_matching_cardinality(family_graph)
+    for name in WEIGHTED:
+        result = max_bipartite_matching(family_graph, name)
+        assert result.cardinality == reference
+        assert result.counters["total_weight"] == float(reference)
+        assert certify_optimal(family_graph, result.matching, result.duals).ok(GAP_TOL)
+
+
+def test_certificate_rejects_suboptimal_duals():
+    graph = uniform_weights(
+        uniform_random_bipartite(30, 30, avg_degree=3.0, seed=22), seed=5
+    )
+    result = weighted_sap_matching(graph)
+    report = certify_optimal(graph, result.matching, result.duals)
+    assert report.ok()
+    # Inflate the dual of a matched row: tightness breaks by the same amount
+    # and the measured gap must blow past the tolerance.  (A uniform λ shift
+    # would *not* fail — the measured violations cancel exactly, which is the
+    # certificate arithmetic working as intended.)
+    from repro.weighted import DualCertificate
+
+    matched_row = int(np.flatnonzero(result.matching.row_match >= 0)[0])
+    tampered = result.duals.row_duals.copy()
+    tampered[matched_row] += 50.0
+    bad = DualCertificate(
+        objective="max",
+        lam=result.duals.lam,
+        row_duals=tampered,
+        col_duals=result.duals.col_duals,
+    )
+    bad_report = certify_optimal(graph, result.matching, bad)
+    assert not bad_report.ok(GAP_TOL)
+    assert bad_report.gap_bound == pytest.approx(50.0)
+
+
+# ------------------------------------------------------------ engine parity
+@pytest.mark.parametrize("backend", ["inline", "thread", "process"])
+def test_backend_parity_on_total_weight(backend):
+    graphs = list(_families().values())
+    jobs = [
+        MatchingJob(graph=g, algorithm=name, job_id=f"{name}-{i}")
+        for i, g in enumerate(graphs)
+        for name in WEIGHTED
+    ]
+    expected = {
+        job.job_id: max_bipartite_matching(job.graph, job.algorithm).counters["total_weight"]
+        for job in jobs
+    }
+    with Engine(backend=backend, max_workers=2) as engine:
+        for handle in engine.as_completed(engine.map(jobs)):
+            result = handle.result()
+            assert result.counters["total_weight"] == pytest.approx(
+                expected[handle.job.job_id]
+            ), (backend, handle.job.job_id)
+            report = certify_optimal(handle.job.graph, result.matching, result.duals)
+            assert report.ok(GAP_TOL), (backend, handle.job.job_id)
+
+
+def test_device_backend_charges_auction_kernels():
+    graph = uniform_weights(
+        uniform_random_bipartite(80, 80, avg_degree=4.0, seed=23), seed=6
+    )
+    device = VirtualGPU(DeviceSpec().scaled())
+    result = weighted_auction_matching(graph, device=device)
+    assert result.modeled_time is not None and result.modeled_time > 0
+    assert device.ledger.n_launches >= 2  # bid + assign kernels
+    names = {launch.name for launch in device.ledger.launches}
+    assert {"auction_bid", "auction_assign"} <= names
+
+
+# ------------------------------------------------------- service interaction
+def test_service_cache_distinguishes_weights():
+    base = uniform_random_bipartite(50, 50, avg_degree=3.0, seed=24)
+    light = uniform_weights(base, seed=1)
+    heavy = uniform_weights(base, seed=2)
+    service = MatchingService()
+    report = service.submit_batch(
+        [MatchingJob(graph=g, algorithm="weighted-sap") for g in (light, heavy, light)]
+    )
+    # Different weights ⇒ different cache keys; the repeated graph dedups.
+    assert report.executed == 2
+    assert report.cache_hits + report.deduplicated == 1
+    totals = [r.result.counters["total_weight"] for r in report.results]
+    assert totals[0] == totals[2]
+
+
+def test_matching_total_weight_matches_counters():
+    graph = uniform_weights(
+        uniform_random_bipartite(40, 45, avg_degree=3.0, seed=25), seed=8
+    )
+    result = weighted_sap_matching(graph)
+    assert matching_total_weight(graph, result.matching) == pytest.approx(
+        result.counters["total_weight"]
+    )
+
+
+# ----------------------------------------------------------- weight specs
+def test_weight_generators_are_seeded_and_integral():
+    base = uniform_random_bipartite(40, 40, avg_degree=3.0, seed=26)
+    for factory in (
+        lambda: uniform_weights(base, seed=9),
+        lambda: geometric_weights(base, seed=9),
+        lambda: rank_correlated_weights(base, seed=9),
+    ):
+        one, two = factory(), factory()
+        assert np.array_equal(one.weights, two.weights)
+        assert np.all(one.weights == np.floor(one.weights))
+        assert np.all(one.weights >= 1)
+
+
+def test_apply_weight_spec_forms():
+    base = uniform_random_bipartite(30, 30, avg_degree=3.0, seed=27)
+    assert apply_weight_spec(base, "uniform:5:9", seed=0).weights.max() <= 9
+    assert apply_weight_spec(base, "geometric:0.5", seed=0).has_weights
+    assert apply_weight_spec(base, "rank:0.1", seed=0).has_weights
+    weighted = uniform_weights(base, seed=0)
+    assert apply_weight_spec(weighted, "values") is weighted
+    with pytest.raises(ValueError, match="carries no weights"):
+        apply_weight_spec(base, "values")
+    with pytest.raises(ValueError, match="unknown weight spec"):
+        apply_weight_spec(base, "gaussian")
+    with pytest.raises(ValueError, match="malformed weight spec"):
+        apply_weight_spec(base, "uniform:a:b")
+    # Extra arguments are rejected, not silently dropped (a user setting a
+    # knob with no string form must hear about it).
+    with pytest.raises(ValueError, match="at most 1 argument"):
+        apply_weight_spec(base, "rank:0.25:50")
+    with pytest.raises(ValueError, match="at most 2 argument"):
+        apply_weight_spec(base, "uniform:1:100:7")
+    # Empty segments keep their defaults instead of shifting later arguments.
+    from repro.generators.weights import parse_weight_spec
+
+    assert parse_weight_spec("uniform::50") == ("uniform", {"low": 1, "high": 50})
+    assert parse_weight_spec("uniform:50") == ("uniform", {"low": 50, "high": 100})
+
+
+# ------------------------------------------------------------- interactions
+def test_dynamic_overlay_rejects_weighted_graphs():
+    from repro.dynamic import DynamicBipartiteGraph
+
+    weighted = uniform_weights(
+        uniform_random_bipartite(10, 10, avg_degree=2.0, seed=28), seed=1
+    )
+    with pytest.raises(ValueError, match="does not support weighted"):
+        DynamicBipartiteGraph(weighted)
+
+
+def test_degenerate_shapes():
+    for graph in (empty_graph(0, 5), empty_graph(5, 0), empty_graph(4, 4)):
+        for name in WEIGHTED:
+            result = max_bipartite_matching(graph, name)
+            assert result.cardinality == 0
+            assert certify_optimal(graph, result.matching, result.duals).ok(GAP_TOL)
