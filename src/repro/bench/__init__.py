@@ -7,8 +7,21 @@
 * :mod:`repro.bench.reports` — builders for Figure 1 (strategy comparison),
   Figure 4 (per-instance speedups) and Table I, each returning plain data
   structures plus a formatted text rendering.
+* :mod:`repro.bench.perfbaseline` — the perf-regression harness: capture
+  CPU-baseline timings into ``BENCH_*.json`` files and compare fresh runs
+  against the committed baseline (the ``repro perf`` subcommand and the CI
+  ``perf-smoke`` job are thin wrappers over it).
 """
 
+from repro.bench.perfbaseline import (
+    PERF_ALGORITHMS,
+    PerfComparison,
+    PerfDelta,
+    capture,
+    compare,
+    load_baseline,
+    save_baseline,
+)
 from repro.bench.harness import (
     AlgorithmRun,
     InstanceResult,
@@ -27,6 +40,13 @@ from repro.bench.reports import (
 )
 
 __all__ = [
+    "PERF_ALGORITHMS",
+    "PerfComparison",
+    "PerfDelta",
+    "capture",
+    "compare",
+    "load_baseline",
+    "save_baseline",
     "SuiteRunner",
     "AlgorithmRun",
     "InstanceResult",

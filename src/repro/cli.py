@@ -48,9 +48,10 @@ import json
 import sys
 from pathlib import Path
 
+from repro.bench import perfbaseline
 from repro.bench.harness import SuiteRunner, modeled_seconds_for
 from repro.bench.reports import build_figure1, build_figure2, build_figure3, build_figure4, build_table1, render_table
-from repro.core.api import SPECS, max_bipartite_matching, resolve_algorithm
+from repro.core.api import SPECS, resolve_algorithm
 from repro.dynamic import IncrementalMatcher, read_update_trace
 from repro.engine import BACKEND_NAMES, Engine, JobError
 from repro.engine.execution import validate_job_args
@@ -452,6 +453,95 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    try:
+        baseline = (
+            perfbaseline.load_baseline(args.compare) if args.compare else None
+        )
+        current = perfbaseline.capture(
+            profile=args.profile,
+            seed=args.seed,
+            instances=args.instances or None,
+            repeats=args.repeats,
+        )
+    except (KeyError, ValueError, OSError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.output:
+        perfbaseline.save_baseline(args.output, current)
+
+    comparison = None
+    if baseline is not None:
+        try:
+            comparison = perfbaseline.compare(
+                current,
+                baseline,
+                wall_tolerance=args.wall_tolerance,
+                modeled_tolerance=args.modeled_tolerance,
+            )
+        except ValueError as exc:  # disjoint documents: nothing was checked
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    # A regressed capture must not replace the baseline it just failed
+    # against — that would mask the regression for every subsequent run.
+    if args.update:
+        if comparison is not None and not comparison.ok:
+            print(
+                f"not updating {args.update}: the capture regresses against "
+                f"{args.compare}", file=sys.stderr,
+            )
+        else:
+            perfbaseline.save_baseline(args.update, current)
+
+    if args.format == "json":
+        payload = {"capture": current}
+        if comparison is not None:
+            payload["comparison"] = {
+                "baseline": args.compare,
+                "baseline_profile": baseline["profile"],
+                "cross_profile": comparison.cross_profile,
+                "checked": comparison.checked,
+                "wall_tolerance": comparison.wall_tolerance,
+                "modeled_tolerance": comparison.modeled_tolerance,
+                "ok": comparison.ok,
+                "regressions": [vars(d) for d in comparison.regressions],
+                "improvements": [vars(d) for d in comparison.improvements],
+            }
+        try:
+            print(json.dumps(payload, indent=2))
+        except BrokenPipeError:
+            _silence_stdout()
+    else:
+        print(f"perf capture: profile={current['profile']} seed={current['seed']} "
+              f"repeats={current['repeats']}")
+        for name, agg in current["aggregate"].items():
+            print(
+                f"  {name:<8} geomean wall {agg['geomean_wall_seconds'] * 1e3:8.3f} ms   "
+                f"geomean modeled {agg['geomean_modeled_seconds'] * 1e3:8.3f} ms   "
+                f"total wall {agg['total_wall_seconds'] * 1e3:9.3f} ms"
+            )
+        if comparison is not None:
+            kind = "cross-profile (per-edge)" if comparison.cross_profile else "same-profile"
+            print(
+                f"compared {comparison.checked} (instance, algorithm) pairs against "
+                f"{args.compare} [{kind}; wall tol {comparison.wall_tolerance:.2f}x, "
+                f"modeled tol {comparison.modeled_tolerance:.2f}x]"
+            )
+            for delta in comparison.regressions:
+                print(f"  REGRESSION {delta.describe()}")
+            if comparison.improvements:
+                print(
+                    f"  note: {len(comparison.improvements)} pair(s) ran far faster than "
+                    "the baseline; consider refreshing it with --update"
+                )
+            if comparison.ok:
+                print("  no perf regressions")
+    if comparison is not None and not comparison.ok:
+        return 1
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("suite instances:")
     for name in instance_names():
@@ -571,6 +661,34 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--profile", default="small")
     stream.add_argument("--seed", type=int, default=20130421)
     stream.set_defaults(func=_cmd_stream)
+
+    perf = sub.add_parser(
+        "perf",
+        help="measure the CPU baselines and compare against a BENCH_*.json baseline",
+    )
+    perf.add_argument("--profile", default="small",
+                      help="suite size profile to measure")
+    perf.add_argument("--seed", type=int, default=20130421)
+    perf.add_argument("--instances", nargs="*", default=None,
+                      help="restrict to these suite instances")
+    perf.add_argument("--repeats", type=int, default=1,
+                      help="suite passes; wall times keep the per-entry minimum")
+    perf.add_argument("--compare", default=None, metavar="PATH",
+                      help="compare against this baseline; exit 1 on regressions")
+    perf.add_argument("--update", default=None, metavar="PATH",
+                      help="write the fresh capture as the new baseline file")
+    perf.add_argument("--output", default=None, metavar="PATH",
+                      help="also write the fresh capture to this report file")
+    perf.add_argument("--wall-tolerance", type=float, default=None,
+                      help=f"wall-clock regression ratio (default "
+                           f"{perfbaseline.DEFAULT_WALL_TOLERANCE}, scaled "
+                           f"{perfbaseline.CROSS_PROFILE_SLACK}x across profiles)")
+    perf.add_argument("--modeled-tolerance", type=float, default=None,
+                      help=f"modeled-seconds regression ratio (default "
+                           f"{perfbaseline.DEFAULT_MODELED_TOLERANCE}, scaled "
+                           f"{perfbaseline.CROSS_PROFILE_SLACK}x across profiles)")
+    perf.add_argument("--format", default="table", choices=("table", "json"))
+    perf.set_defaults(func=_cmd_perf)
 
     lst = sub.add_parser("list", help="list suite instances and algorithms")
     lst.set_defaults(func=_cmd_list)

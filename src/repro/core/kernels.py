@@ -3,10 +3,14 @@
 Every function in this module corresponds to one CUDA kernel of the paper
 and follows the *lockstep* execution semantics described in
 :mod:`repro.gpusim.kernel`: all reads observe the state of device memory at
-launch time (snapshots are taken of the arrays other threads may write), and
-conflicting writes to the same location are resolved last-writer-wins — a
-legal interleaving of the lock- and atomic-free CUDA launch, and the exact
-scenario §III-B of the paper analyses for correctness.
+launch time, and conflicting writes to the same location are resolved
+last-writer-wins — a legal interleaving of the lock- and atomic-free CUDA
+launch, and the exact scenario §III-B of the paper analyses for correctness.
+The vectorized bodies get the launch-time-read guarantee structurally — each
+wave performs its entire read phase before its first write — so no kernel
+snapshots (copies) its inputs; a kernel would only need a copy if it read an
+array *after* writing it within one wave, which none does
+(``tests/test_core_kernels.py`` pins the conflict semantics).
 
 Each kernel returns, besides its outputs, a **per-thread work vector**: the
 number of elementary operations (adjacency entries scanned plus a small
@@ -221,10 +225,14 @@ def _push_wave(
 ) -> np.ndarray:
     """Push for one *wave* of concurrently resident threads (lockstep within the wave).
 
+    No defensive snapshot of ``psi_row`` is needed: the vectorized engine
+    performs the wave's entire read phase (the min-neighbour scan below)
+    before its first write, so every read already observes launch-time
+    state — copying the array would only model the same semantics slower.
+
     Returns the per-column scanned-edge counts for the wave.
     """
-    psi_row_snapshot = psi_row.copy()
-    psi_min, u_min, scanned = _min_neighbor_scan(graph, psi_row_snapshot, psi_col, wave_cols)
+    psi_min, u_min, scanned = _min_neighbor_scan(graph, psi_row, psi_col, wave_cols)
     pushable = psi_min < graph.infinity_label
     # Columns whose every neighbour is unreachable are retired (µ(v) ← −2).
     mu_col[wave_cols[~pushable]] = UNMATCHABLE
@@ -434,9 +442,10 @@ def push_kernel_active_list(
     for wave in _wave_slices(len(all_slots), wave_size):
         slots = all_slots[wave]
         cols = ac[slots]
-        mu_row_snapshot = mu_row.copy()
-        psi_row_snapshot = psi_row.copy()
-        psi_min, u_min, scanned = _min_neighbor_scan(graph, psi_row_snapshot, psi_col, cols)
+        # All of the wave's reads of mu_row / psi_row (the scan and the
+        # old-match gather below) complete before its first write, so the
+        # live arrays already show launch-time state — no snapshot copies.
+        psi_min, u_min, scanned = _min_neighbor_scan(graph, psi_row, psi_col, cols)
         thread_work[slots] += scanned
 
         pushable = psi_min < infinity
@@ -451,7 +460,7 @@ def push_kernel_active_list(
         push_cols = cols[pushable]
         push_rows = u_min[pushable]
         push_min = psi_min[pushable]
-        old_match = mu_row_snapshot[push_rows]
+        old_match = mu_row[push_rows]
 
         # Line 13: postpone the push when the row's current match is active this round.
         allowed = (old_match < 0) | (ia[np.clip(old_match, 0, None)] != loop)

@@ -116,8 +116,8 @@ def rank_correlated_weights(
     rng = np.random.default_rng(seed)
     if graph.n_edges == 0:
         return graph.with_weights(np.empty(0, dtype=np.float64))
-    row_rank = np.argsort(np.argsort(graph.row_degrees(), kind="stable"), kind="stable")
-    col_rank = np.argsort(np.argsort(graph.column_degrees(), kind="stable"), kind="stable")
+    row_rank = np.argsort(np.argsort(graph.row_degrees, kind="stable"), kind="stable")
+    col_rank = np.argsort(np.argsort(graph.col_degrees, kind="stable"), kind="stable")
     denom = max(graph.n_rows - 1, 1) + max(graph.n_cols - 1, 1)
     structured = (row_rank[graph.col_ind] + col_rank[graph.edge_columns()]) / denom
     mixed = (1.0 - noise) * structured + noise * rng.random(graph.n_edges)

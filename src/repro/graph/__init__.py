@@ -20,9 +20,25 @@ Public classes / functions
     Descriptive statistics used by the benchmark reports.
 :func:`validate_graph`
     Structural validation with informative errors.
+:mod:`repro.graph.frontier`
+    Vectorized whole-frontier CSR operations (multi-source BFS, alternating
+    level/label BFS variants, first-admissible-neighbour selection) — the
+    shared hot path of every CPU baseline.
 """
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.frontier import (
+    BFSResult,
+    alternating_level_bfs,
+    claiming_bfs,
+    distance_label_bfs,
+    expand_frontier,
+    first_free_offset,
+    first_occurrence_mask,
+    first_true,
+    multi_source_bfs,
+    reference_bfs,
+)
 from repro.graph.builders import (
     from_biadjacency,
     from_dense,
@@ -36,6 +52,16 @@ from repro.graph.validate import GraphValidationError, validate_graph
 
 __all__ = [
     "BipartiteGraph",
+    "BFSResult",
+    "alternating_level_bfs",
+    "claiming_bfs",
+    "distance_label_bfs",
+    "expand_frontier",
+    "first_free_offset",
+    "first_occurrence_mask",
+    "first_true",
+    "multi_source_bfs",
+    "reference_bfs",
     "from_edges",
     "from_dense",
     "from_scipy_sparse",

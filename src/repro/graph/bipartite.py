@@ -56,6 +56,15 @@ class BipartiteGraph:
     Use the builders in :mod:`repro.graph.builders` rather than constructing
     the arrays by hand; they deduplicate edges, sort adjacency lists and build
     the transposed CSR.
+
+    **Hot-path convention** — the bounds-checked accessors
+    (:meth:`column_neighbors` / :meth:`row_neighbors`) are the API for cold
+    paths and user code.  Algorithm inner loops slice the CSR arrays
+    directly (``col_ind[col_ptr[v]:col_ptr[v + 1]]``), use the whole-frontier
+    helpers in :mod:`repro.graph.frontier`, and read degrees from the cached
+    :attr:`col_degrees` / :attr:`row_degrees` properties; a Python-level
+    bounds check per vertex is exactly the interpreter tax the vectorized
+    frontier layer exists to avoid.
     """
 
     n_rows: int
@@ -137,6 +146,30 @@ class BipartiteGraph:
         """Whether the graph carries an edge-weight array."""
         return self.weights is not None
 
+    @property
+    def col_degrees(self) -> np.ndarray:
+        """Degree of every column vertex (lazily computed, cached, read-only).
+
+        Hot loops read this instead of re-deriving ``np.diff(col_ptr)`` —
+        see the hot-path convention in :mod:`repro.graph.frontier`.
+        """
+        cached = self.__dict__.get("_col_degrees")
+        if cached is None:
+            cached = np.diff(self.col_ptr)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_col_degrees", cached)
+        return cached
+
+    @property
+    def row_degrees(self) -> np.ndarray:
+        """Degree of every row vertex (lazily computed, cached, read-only)."""
+        cached = self.__dict__.get("_row_degrees")
+        if cached is None:
+            cached = np.diff(self.row_ptr)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_row_degrees", cached)
+        return cached
+
     # ------------------------------------------------------------- accessors
     def column_neighbors(self, v: int) -> np.ndarray:
         """Rows adjacent to column ``v`` (the paper's ``Γ(v)`` for ``v ∈ VC``)."""
@@ -206,13 +239,34 @@ class BipartiteGraph:
             object.__setattr__(self, "_edge_columns", cached)
         return cached
 
-    def column_degrees(self) -> np.ndarray:
-        """Degree of every column vertex."""
-        return np.diff(self.col_ptr)
+    def csr_lists(self, side: str = "col") -> tuple[list[int], list[int]]:
+        """One side's CSR structure as cached plain Python lists.
 
-    def row_degrees(self) -> np.ndarray:
-        """Degree of every row vertex."""
-        return np.diff(self.row_ptr)
+        The vectorized frontier layer (:mod:`repro.graph.frontier`) covers
+        the whole-frontier traversals; the *scalar* walks that remain (DFS
+        descents, push-relabel's per-push scan, P-DBFS claim searches) index
+        one element at a time, where a Python list is ~4× faster than
+        ndarray scalar access (no ``numpy`` boxing per element — measured in
+        ``docs/benchmarks.md``).  Computed once per side and cached; the
+        arrays are immutable.
+
+        Parameters
+        ----------
+        side:
+            ``"col"`` for ``(col_ptr, col_ind)``, ``"row"`` for
+            ``(row_ptr, row_ind)``.
+        """
+        if side not in ("col", "row"):
+            raise ValueError(f"side must be 'col' or 'row', not {side!r}")
+        key = f"_csr_lists_{side}"
+        cached = self.__dict__.get(key)
+        if cached is None:
+            if side == "col":
+                cached = (self.col_ptr.tolist(), self.col_ind.tolist())
+            else:
+                cached = (self.row_ptr.tolist(), self.row_ind.tolist())
+            object.__setattr__(self, key, cached)
+        return cached
 
     def content_hash(self) -> str:
         """SHA-256 hex digest of the graph content (shape + CSR arrays + weights).

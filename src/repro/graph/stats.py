@@ -57,8 +57,8 @@ class GraphSummary:
 
 def degree_statistics(graph: BipartiteGraph) -> dict:
     """Min / max / mean / std of the row and column degree distributions."""
-    row_deg = graph.row_degrees()
-    col_deg = graph.column_degrees()
+    row_deg = graph.row_degrees
+    col_deg = graph.col_degrees
 
     def _stats(deg: np.ndarray) -> dict:
         if len(deg) == 0:
@@ -75,8 +75,8 @@ def degree_statistics(graph: BipartiteGraph) -> dict:
 
 def structure_summary(graph: BipartiteGraph) -> GraphSummary:
     """Build a :class:`GraphSummary` for ``graph``."""
-    row_deg = graph.row_degrees()
-    col_deg = graph.column_degrees()
+    row_deg = graph.row_degrees
+    col_deg = graph.col_degrees
     mean_row = float(row_deg.mean()) if len(row_deg) else 0.0
     mean_col = float(col_deg.mean()) if len(col_deg) else 0.0
     max_row = int(row_deg.max()) if len(row_deg) else 0

@@ -34,7 +34,7 @@ def validate_graph(graph: BipartiteGraph) -> None:
 
     # The two CSR structures must describe the same edge set.
     col_edges = graph.edges()
-    rows = np.repeat(np.arange(graph.n_rows, dtype=np.int64), graph.row_degrees())
+    rows = np.repeat(np.arange(graph.n_rows, dtype=np.int64), graph.row_degrees)
     row_edges = np.column_stack([rows, graph.row_ind])
     col_sorted = col_edges[np.lexsort((col_edges[:, 1], col_edges[:, 0]))]
     row_sorted = row_edges[np.lexsort((row_edges[:, 1], row_edges[:, 0]))]

@@ -20,12 +20,12 @@ guarantees the final matching is maximum.
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.frontier import claiming_bfs
 from repro.gpusim.costmodel import MulticoreCostModel
 from repro.matching import UNMATCHED, Matching, MatchingResult
 from repro.seq.greedy import cheap_matching
@@ -44,57 +44,7 @@ class PDBFSConfig:
         return self.cost_model or MulticoreCostModel(n_threads=self.n_threads)
 
 
-def _disjoint_bfs(
-    graph: BipartiteGraph,
-    start: int,
-    mu_row: np.ndarray,
-    mu_col: np.ndarray,
-    owner: np.ndarray,
-    thread_id: int,
-) -> tuple[list[int] | None, float, int]:
-    """BFS from unmatched column ``start`` claiming rows for ``thread_id``.
-
-    Returns ``(augmenting_path, work, atomics)`` where the path alternates
-    ``[col, row, col, row, ..., row]`` and is ``None`` when the search is
-    exhausted (possibly because other threads' claims blocked it).
-    """
-    parent_col: dict[int, int] = {start: -1}
-    parent_row: dict[int, int] = {}
-    queue: deque[int] = deque([start])
-    work = 1.0
-    atomics = 0
-    while queue:
-        v = queue.popleft()
-        for u in graph.column_neighbors(v):
-            u = int(u)
-            work += 1.0
-            if owner[u] != -1 and owner[u] != thread_id:
-                continue  # claimed by another thread's BFS
-            if u in parent_row:
-                continue
-            atomics += 1  # compare-and-swap claiming the row
-            owner[u] = thread_id
-            parent_row[u] = v
-            if mu_row[u] == UNMATCHED:
-                path = [u]
-                col = v
-                while col != -1:
-                    path.append(col)
-                    row = parent_col[col]
-                    if row == -1:
-                        break
-                    path.append(row)
-                    col = parent_row[row]
-                path.reverse()
-                return path, work, atomics
-            w = int(mu_row[u])
-            if w not in parent_col:
-                parent_col[w] = u
-                queue.append(w)
-    return None, work, atomics
-
-
-def _augment(path: list[int], mu_row: np.ndarray, mu_col: np.ndarray) -> None:
+def _augment(path: list[int], mu_row: list[int], mu_col: list[int]) -> None:
     """Apply an augmenting path given as ``[col, row, col, row, ..., row]``."""
     for i in range(0, len(path) - 1, 2):
         v, u = path[i], path[i + 1]
@@ -119,8 +69,13 @@ def pdbfs_matching(
         initial = cheap_matching(graph).matching
     else:
         initial = initial.copy().canonical()
-    mu_row = initial.row_match.copy()
-    mu_col = initial.col_match.copy()
+    # All searches are scalar claim walks (frontier-layer split, see
+    # repro.graph.frontier.claiming_bfs), so the matching and ownership
+    # state lives in plain Python lists for the duration of the run.
+    mu_row = initial.row_match.tolist()
+    mu_col = initial.col_match.tolist()
+    col_ptr, col_ind = graph.csr_lists("col")
+    n_cols = graph.n_cols
 
     counters = {
         "rounds": 0,
@@ -128,16 +83,16 @@ def pdbfs_matching(
         "augmentations": 0,
         "edges_scanned": 0.0,
         "atomics": 0,
-        "initial_matching": int(np.count_nonzero(mu_row >= 0)),
+        "initial_matching": sum(1 for u in mu_row if u >= 0),
     }
     modeled = 0.0
 
     while True:
-        unmatched = np.flatnonzero(mu_col == UNMATCHED)
+        unmatched = [v for v in range(n_cols) if mu_col[v] == UNMATCHED]
         if len(unmatched) == 0:
             break
         counters["rounds"] += 1
-        owner = np.full(graph.n_rows, -1, dtype=np.int64)
+        owner = [-1] * graph.n_rows
         thread_work = np.zeros(config.n_threads, dtype=np.float64)
         round_atomics = 0
         augmented = 0
@@ -146,11 +101,10 @@ def pdbfs_matching(
         for batch_start in range(0, len(unmatched), config.n_threads):
             batch = unmatched[batch_start : batch_start + config.n_threads]
             for thread_id, v in enumerate(batch):
-                v = int(v)
                 if mu_col[v] != UNMATCHED:
                     continue
-                path, work, atomics = _disjoint_bfs(
-                    graph, v, mu_row, mu_col, owner, thread_id
+                path, work, atomics = claiming_bfs(
+                    col_ptr, col_ind, v, mu_row, owner, thread_id
                 )
                 thread_work[thread_id] += work
                 round_atomics += atomics
@@ -172,9 +126,11 @@ def pdbfs_matching(
             counters["sequential_sweeps"] += 1
             sweep_work = 0.0
             sweep_augmented = 0
-            for v in np.flatnonzero(mu_col == UNMATCHED):
-                owner = np.full(graph.n_rows, -1, dtype=np.int64)
-                path, work, atomics = _disjoint_bfs(graph, int(v), mu_row, mu_col, owner, 0)
+            for v in range(n_cols):
+                if mu_col[v] != UNMATCHED:
+                    continue
+                owner = [-1] * graph.n_rows
+                path, work, atomics = claiming_bfs(col_ptr, col_ind, v, mu_row, owner, 0)
                 sweep_work += work
                 if path is not None:
                     _augment(path, mu_row, mu_col)
@@ -188,9 +144,10 @@ def pdbfs_matching(
                 break
 
     wall = time.perf_counter() - t0
+    matching = Matching(np.array(mu_row, dtype=np.int64), np.array(mu_col, dtype=np.int64))
     return MatchingResult.create(
         "P-DBFS",
-        Matching(mu_row, mu_col),
+        matching,
         counters=counters,
         modeled_time=modeled,
         wall_time=wall,

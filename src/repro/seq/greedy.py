@@ -31,25 +31,34 @@ def cheap_matching(graph: BipartiteGraph, seed: int | None = None) -> MatchingRe
         of index order — useful for sensitivity tests; ``None`` reproduces the
         deterministic textbook variant.
     """
-    matching = Matching.empty(graph)
-    row_match = matching.row_match
-    col_match = matching.col_match
-    col_ptr, col_ind = graph.col_ptr, graph.col_ind
+    col_ptr, col_ind = graph.csr_lists("col")
 
-    order = np.arange(graph.n_cols)
     if seed is not None:
+        order = np.arange(graph.n_cols)
         np.random.default_rng(seed).shuffle(order)
+        order = order.tolist()
+    else:
+        order = range(graph.n_cols)
 
+    # Scalar walk over the cached list views (see the frontier-layer split in
+    # repro.graph.frontier): the scan order — and hence the matching and the
+    # scanned-edge total — is identical to the historical per-edge loop.
+    unmatched = UNMATCHED
+    row_match = [unmatched] * graph.n_rows
+    col_match = [unmatched] * graph.n_cols
     edges_scanned = 0
     for v in order:
-        start, stop = col_ptr[v], col_ptr[v + 1]
-        for idx in range(start, stop):
+        stop = col_ptr[v + 1]
+        for idx in range(col_ptr[v], stop):
             edges_scanned += 1
             u = col_ind[idx]
-            if row_match[u] == UNMATCHED:
+            if row_match[u] == unmatched:
                 row_match[u] = v
                 col_match[v] = u
                 break
+    matching = Matching(
+        np.array(row_match, dtype=np.int64), np.array(col_match, dtype=np.int64)
+    )
     return MatchingResult.create(
         "cheap", matching, counters={"edges_scanned": edges_scanned, "phases": 1}
     )
@@ -70,8 +79,8 @@ def karp_sipser_matching(graph: BipartiteGraph, seed: int | None = None) -> Matc
     row_match, col_match = matching.row_match, matching.col_match
 
     # Dynamic degrees of both sides (only counting still-unmatched partners).
-    row_deg = graph.row_degrees().astype(np.int64).copy()
-    col_deg = graph.column_degrees().astype(np.int64).copy()
+    row_deg = graph.row_degrees.astype(np.int64).copy()
+    col_deg = graph.col_degrees.astype(np.int64).copy()
     edges_scanned = 0
 
     # Queue of degree-1 vertices encoded as (side, index); side 0 = row, 1 = column.

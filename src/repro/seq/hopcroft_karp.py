@@ -10,16 +10,26 @@ HKDW (Duff–Wassel variant) adds, after each HK phase, an extra round of
 unrestricted DFS augmentations from the remaining unmatched rows; it has the
 same worst case but is often faster in practice.  The GPU comparator of the
 paper, G-HKDW, parallelises this variant.
+
+Hot paths follow the frontier-layer split (:mod:`repro.graph.frontier`): the
+phase BFS is the whole-frontier vectorized
+:func:`~repro.graph.frontier.alternating_level_bfs` (with the scalar
+tail-level fallback enabled), while the vertex-disjoint DFS — whose working
+set is one small adjacency slice per stack frame — walks the cached
+``csr_lists()`` views with the matching and level state held in plain
+Python lists, one call per *phase* rather than per root.  Matchings and
+counter end-values are bit-identical to the historical per-edge
+implementation.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
 
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.frontier import alternating_level_bfs
 from repro.matching import UNMATCHED, Matching, MatchingResult
 from repro.seq.greedy import cheap_matching
 
@@ -36,66 +46,82 @@ def _prepare(graph: BipartiteGraph, initial: Matching | None):
     return matching.row_match, matching.col_match
 
 
-def _bfs_levels(
-    graph: BipartiteGraph,
-    row_match: np.ndarray,
-    col_match: np.ndarray,
-    counters: dict,
-) -> tuple[np.ndarray, int]:
-    """Level-structure BFS from all unmatched columns.
-
-    Returns the column levels and the length (in column levels) of the
-    shortest augmenting path, or ``_INF`` when none exists.
-    """
-    level = np.full(graph.n_cols, _INF, dtype=np.int64)
-    queue: deque[int] = deque()
-    for v in np.flatnonzero(col_match == UNMATCHED):
-        level[v] = 0
-        queue.append(int(v))
-    shortest = _INF
-    while queue:
-        v = queue.popleft()
-        if level[v] >= shortest:
-            continue
-        for u in graph.column_neighbors(v):
-            counters["edges_scanned"] += 1
-            w = row_match[u]
-            if w == UNMATCHED:
-                shortest = min(shortest, level[v] + 1)
-            elif level[w] == _INF:
-                level[w] = level[v] + 1
-                queue.append(int(w))
-    return level, int(shortest)
-
-
-def _dfs_augment_iterative(
-    graph: BipartiteGraph,
-    start: int,
-    level: np.ndarray,
-    row_match: np.ndarray,
-    col_match: np.ndarray,
-    row_used: np.ndarray,
-    counters: dict,
+def _augment_phase(
+    col_ptr: list[int],
+    col_ind: list[int],
+    roots: list[int],
+    level: list[int],
+    row_match: list[int],
+    col_match: list[int],
+    row_used: bytearray,
     restrict_levels: bool,
-) -> bool:
-    """Iterative DFS (explicit stack) to avoid Python recursion limits on long paths."""
-    col_ptr, col_ind = graph.col_ptr, graph.col_ind
-    # Stack of (column, next neighbour offset); path_rows[i] is the row taken out of stack[i].
-    stack: list[list[int]] = [[start, int(col_ptr[start])]]
-    path_rows: list[int] = []
-    while stack:
-        v, idx = stack[-1]
-        stop = int(col_ptr[v + 1])
-        advanced = False
-        while idx < stop:
-            u = int(col_ind[idx])
-            idx += 1
-            counters["edges_scanned"] += 1
-            if row_used[u]:
+) -> tuple[int, int]:
+    """One DFS augmentation round over ``roots`` (vertex-disjoint paths).
+
+    Iterative DFS with an explicit stack (no Python recursion limits on long
+    paths), pure list/bytearray state, the level comparand hoisted out of
+    the per-edge scan, and the restricted/unrestricted variants split so the
+    scan pays no per-edge mode test.  Returns ``(augmentations,
+    edges_scanned)`` so the caller can bulk-update counters.
+    """
+    unmatched = UNMATCHED
+    inf = _INF
+    augmented = 0
+    edges = 0
+    for start in roots:
+        # Stack of (column, next neighbour offset); path_rows[i] is the row
+        # taken out of stack[i].
+        stack: list[list[int]] = [[start, col_ptr[start]]]
+        path_rows: list[int] = []
+        while stack:
+            v, idx = stack[-1]
+            stop = col_ptr[v + 1]
+            advanced = False
+            done = False
+            if restrict_levels:
+                want = level[v] + 1
+                while idx < stop:
+                    u = col_ind[idx]
+                    idx += 1
+                    edges += 1
+                    if row_used[u]:
+                        continue
+                    w = row_match[u]
+                    if w != unmatched:
+                        if level[w] != want:
+                            continue
+                        row_used[u] = True
+                        stack[-1][1] = idx
+                        path_rows.append(u)
+                        stack.append([w, col_ptr[w]])
+                        advanced = True
+                        break
+                    row_used[u] = True
+                    done = True
+                    break
+            else:
+                while idx < stop:
+                    u = col_ind[idx]
+                    idx += 1
+                    edges += 1
+                    if row_used[u]:
+                        continue
+                    w = row_match[u]
+                    if w != unmatched:
+                        if level[w] == inf:
+                            continue
+                        row_used[u] = True
+                        stack[-1][1] = idx
+                        path_rows.append(u)
+                        stack.append([w, col_ptr[w]])
+                        advanced = True
+                        break
+                    row_used[u] = True
+                    done = True
+                    break
+            if advanced:
                 continue
-            w = int(row_match[u])
-            if w == UNMATCHED:
-                row_used[u] = True
+            if done:
                 # Augment along the stack.
                 row_match[u] = v
                 col_match[v] = u
@@ -104,25 +130,71 @@ def _dfs_augment_iterative(
                     prev_row = path_rows[depth]
                     row_match[prev_row] = prev_col
                     col_match[prev_col] = prev_row
-                return True
-            if restrict_levels and level[w] != level[v] + 1:
-                continue
-            if not restrict_levels and level[w] == _INF:
-                continue
-            row_used[u] = True
+                augmented += 1
+                break
             stack[-1][1] = idx
-            path_rows.append(u)
-            stack.append([w, int(col_ptr[w])])
-            advanced = True
+            if stack[-1][1] >= stop:
+                stack.pop()
+                if path_rows:
+                    path_rows.pop()
+    return augmented, edges
+
+
+def _run(graph: BipartiteGraph, initial: Matching | None, duff_wassel: bool):
+    row_match_arr, col_match_arr = _prepare(graph, initial)
+    counters = {"edges_scanned": 0, "phases": 0, "augmentations": 0}
+    if duff_wassel:
+        counters["extra_augmentations"] = 0
+    col_ptr_l, col_ind_l = graph.csr_lists("col")
+    row_match = row_match_arr.tolist()
+    col_match = col_match_arr.tolist()
+    n_cols = graph.n_cols
+
+    while True:
+        # The matching state crosses the list/ndarray boundary once per
+        # phase: ndarrays for the whole-frontier BFS, lists for the DFS.
+        row_match_arr = np.array(row_match, dtype=np.int64)
+        col_match_arr = np.array(col_match, dtype=np.int64)
+        level_arr, shortest, bfs_edges = alternating_level_bfs(
+            graph.col_ptr,
+            graph.col_ind,
+            row_match_arr,
+            col_match_arr,
+            scalars=(col_ptr_l, col_ind_l, row_match),
+        )
+        counters["edges_scanned"] += bfs_edges
+        counters["phases"] += 1
+        if shortest == _INF:
             break
-        if advanced:
-            continue
-        stack[-1][1] = idx
-        if stack[-1][1] >= stop:
-            stack.pop()
-            if path_rows:
-                path_rows.pop()
-    return False
+        level = level_arr.tolist()
+        roots = np.flatnonzero(col_match_arr == UNMATCHED).tolist()
+        augmented, edges = _augment_phase(
+            col_ptr_l, col_ind_l, roots, level, row_match, col_match,
+            bytearray(graph.n_rows), restrict_levels=True,
+        )
+        counters["edges_scanned"] += edges
+        counters["augmentations"] += augmented
+        extra = 0
+        if duff_wassel:
+            # Duff–Wassel extra pass: unrestricted DFS for the remaining
+            # unmatched columns with a finite BFS level.
+            roots = [
+                v for v in range(n_cols)
+                if col_match[v] == UNMATCHED and level[v] != _INF
+            ]
+            extra, edges = _augment_phase(
+                col_ptr_l, col_ind_l, roots, level, row_match, col_match,
+                bytearray(graph.n_rows), restrict_levels=False,
+            )
+            counters["edges_scanned"] += edges
+            counters["extra_augmentations"] += extra
+        if augmented == 0 and extra == 0:
+            break
+
+    matching = Matching(
+        np.array(row_match, dtype=np.int64), np.array(col_match, dtype=np.int64)
+    )
+    return matching, counters
 
 
 def hopcroft_karp_matching(
@@ -130,29 +202,9 @@ def hopcroft_karp_matching(
 ) -> MatchingResult:
     """Maximum cardinality matching with the Hopcroft–Karp algorithm."""
     t0 = time.perf_counter()
-    row_match, col_match = _prepare(graph, initial)
-    counters = {"edges_scanned": 0, "phases": 0, "augmentations": 0}
-
-    while True:
-        level, shortest = _bfs_levels(graph, row_match, col_match, counters)
-        counters["phases"] += 1
-        if shortest == _INF:
-            break
-        row_used = np.zeros(graph.n_rows, dtype=bool)
-        augmented = 0
-        for v in np.flatnonzero(col_match == UNMATCHED):
-            if _dfs_augment_iterative(
-                graph, int(v), level, row_match, col_match, row_used, counters, restrict_levels=True
-            ):
-                augmented += 1
-        counters["augmentations"] += augmented
-        if augmented == 0:
-            break
-
+    matching, counters = _run(graph, initial, duff_wassel=False)
     wall = time.perf_counter() - t0
-    return MatchingResult.create(
-        "HK", Matching(row_match, col_match), counters=counters, wall_time=wall
-    )
+    return MatchingResult.create("HK", matching, counters=counters, wall_time=wall)
 
 
 def hkdw_matching(graph: BipartiteGraph, initial: Matching | None = None) -> MatchingResult:
@@ -163,37 +215,6 @@ def hkdw_matching(graph: BipartiteGraph, initial: Matching | None = None) -> Mat
     augmentations from the still-unmatched columns whose BFS level is finite.
     """
     t0 = time.perf_counter()
-    row_match, col_match = _prepare(graph, initial)
-    counters = {"edges_scanned": 0, "phases": 0, "augmentations": 0, "extra_augmentations": 0}
-
-    while True:
-        level, shortest = _bfs_levels(graph, row_match, col_match, counters)
-        counters["phases"] += 1
-        if shortest == _INF:
-            break
-        row_used = np.zeros(graph.n_rows, dtype=bool)
-        augmented = 0
-        for v in np.flatnonzero(col_match == UNMATCHED):
-            if _dfs_augment_iterative(
-                graph, int(v), level, row_match, col_match, row_used, counters, restrict_levels=True
-            ):
-                augmented += 1
-        counters["augmentations"] += augmented
-        # Duff–Wassel extra pass: unrestricted DFS for the remaining unmatched columns.
-        extra = 0
-        row_used.fill(False)
-        for v in np.flatnonzero(col_match == UNMATCHED):
-            if level[v] == _INF:
-                continue
-            if _dfs_augment_iterative(
-                graph, int(v), level, row_match, col_match, row_used, counters, restrict_levels=False
-            ):
-                extra += 1
-        counters["extra_augmentations"] += extra
-        if augmented == 0 and extra == 0:
-            break
-
+    matching, counters = _run(graph, initial, duff_wassel=True)
     wall = time.perf_counter() - t0
-    return MatchingResult.create(
-        "HKDW", Matching(row_match, col_match), counters=counters, wall_time=wall
-    )
+    return MatchingResult.create("HKDW", matching, counters=counters, wall_time=wall)

@@ -6,6 +6,14 @@ before descending.  A phase visits all unmatched columns; phases repeat until
 one makes no progress.  This is the third sequential algorithm used in §IV of
 the paper to filter out instances every sequential code solves in under a
 second ("Pothen-Fan-Plus").
+
+The whole DFS — lookahead and descent — works one small adjacency slice at
+a time, so per the frontier-layer split (:mod:`repro.graph.frontier`) it
+runs as a scalar walk over the cached ``csr_lists()`` views with matching,
+lookahead and visited state in plain Python lists (one function call per
+*phase*, locals only in the per-edge scans): no per-edge ndarray boxing,
+bulk counter updates per phase, end-values identical to the historical
+implementation.
 """
 
 from __future__ import annotations
@@ -21,42 +29,47 @@ from repro.seq.greedy import cheap_matching
 __all__ = ["pothen_fan_matching"]
 
 
-def pothen_fan_matching(graph: BipartiteGraph, initial: Matching | None = None) -> MatchingResult:
-    """Maximum cardinality matching with the Pothen–Fan algorithm (with lookahead)."""
-    t0 = time.perf_counter()
-    if initial is None:
-        matching = cheap_matching(graph).matching
-    else:
-        matching = initial.copy().canonical()
-    row_match, col_match = matching.row_match, matching.col_match
-    counters = {"edges_scanned": 0, "phases": 0, "augmentations": 0, "lookahead_hits": 0}
+def _pfp_phase(
+    col_ptr: list[int],
+    col_ind: list[int],
+    row_match: list[int],
+    col_match: list[int],
+    lookahead: list[int],
+    visited_round: list[int],
+    round_id: int,
+) -> tuple[int, int, int, int]:
+    """One PFP phase: a lookahead DFS from every currently unmatched column.
 
-    col_ptr, col_ind = graph.col_ptr, graph.col_ind
-    # Lookahead pointer: next adjacency offset to inspect for a free row, per column.
-    lookahead = col_ptr[:-1].astype(np.int64).copy()
-
-    n_rows = graph.n_rows
-
-    def _augment_from(start: int, visited_round: np.ndarray, round_id: int) -> bool:
-        """Iterative DFS with lookahead from unmatched column ``start``."""
-        stack: list[list[int]] = [[start, int(col_ptr[start])]]
+    Returns ``(augmentations, lookahead_hits, edges_scanned, round_id)``.
+    """
+    unmatched = UNMATCHED
+    n_cols = len(col_ptr) - 1
+    augmentations = 0
+    lookahead_hits = 0
+    edges = 0
+    for start in range(n_cols):
+        if col_match[start] != unmatched:
+            continue
+        round_id += 1
+        stack: list[list[int]] = [[start, col_ptr[start]]]
         path_rows: list[int] = []
         while stack:
             v, idx = stack[-1]
-            stop = int(col_ptr[v + 1])
+            stop = col_ptr[v + 1]
             # Lookahead: scan for an immediately free row first.
             found_free = -1
-            la = int(lookahead[v])
+            la = lookahead[v]
             while la < stop:
-                u = int(col_ind[la])
+                u = col_ind[la]
                 la += 1
-                counters["edges_scanned"] += 1
-                if row_match[u] == UNMATCHED:
+                edges += 1
+                if row_match[u] == unmatched:
                     found_free = u
                     break
             lookahead[v] = la
             if found_free >= 0:
-                counters["lookahead_hits"] += 1
+                lookahead_hits += 1
+                augmentations += 1
                 u = found_free
                 row_match[u] = v
                 col_match[v] = u
@@ -65,57 +78,78 @@ def pothen_fan_matching(graph: BipartiteGraph, initial: Matching | None = None) 
                     prev_row = path_rows[depth]
                     row_match[prev_row] = prev_col
                     col_match[prev_col] = prev_row
-                return True
+                break
             # Regular DFS descent over matched rows not yet visited this round.
             advanced = False
+            done = False
             while idx < stop:
-                u = int(col_ind[idx])
+                u = col_ind[idx]
                 idx += 1
-                counters["edges_scanned"] += 1
+                edges += 1
                 if visited_round[u] == round_id:
                     continue
-                w = int(row_match[u])
-                if w == UNMATCHED:
-                    # The lookahead pointer already passed this row in an earlier
-                    # call; treat it as a direct augmentation anyway.
-                    visited_round[u] = round_id
-                    row_match[u] = v
-                    col_match[v] = u
-                    for depth in range(len(stack) - 2, -1, -1):
-                        prev_col = stack[depth][0]
-                        prev_row = path_rows[depth]
-                        row_match[prev_row] = prev_col
-                        col_match[prev_col] = prev_row
-                    return True
                 visited_round[u] = round_id
+                w = row_match[u]
+                if w == unmatched:
+                    # The lookahead pointer already passed this row in an
+                    # earlier call; treat it as a direct augmentation anyway.
+                    done = True
+                    break
                 stack[-1][1] = idx
                 path_rows.append(u)
-                stack.append([w, int(col_ptr[w])])
+                stack.append([w, col_ptr[w]])
                 advanced = True
                 break
             if advanced:
                 continue
+            if done:
+                augmentations += 1
+                row_match[u] = v
+                col_match[v] = u
+                for depth in range(len(stack) - 2, -1, -1):
+                    prev_col = stack[depth][0]
+                    prev_row = path_rows[depth]
+                    row_match[prev_row] = prev_col
+                    col_match[prev_col] = prev_row
+                break
             stack[-1][1] = idx
             if idx >= stop:
                 stack.pop()
                 if path_rows:
                     path_rows.pop()
-        return False
+    return augmentations, lookahead_hits, edges, round_id
 
-    visited_round = np.full(n_rows, -1, dtype=np.int64)
+
+def pothen_fan_matching(graph: BipartiteGraph, initial: Matching | None = None) -> MatchingResult:
+    """Maximum cardinality matching with the Pothen–Fan algorithm (with lookahead)."""
+    t0 = time.perf_counter()
+    if initial is None:
+        matching = cheap_matching(graph).matching
+    else:
+        matching = initial.copy().canonical()
+    row_match = matching.row_match.tolist()
+    col_match = matching.col_match.tolist()
+    counters = {"edges_scanned": 0, "phases": 0, "augmentations": 0, "lookahead_hits": 0}
+
+    col_ptr, col_ind = graph.csr_lists("col")
+    # Lookahead pointer: next adjacency offset to inspect for a free row, per column.
+    lookahead = list(col_ptr[:-1])
+    visited_round = [-1] * graph.n_rows
     round_id = 0
+
     while True:
         counters["phases"] += 1
-        progressed = 0
-        for v in np.flatnonzero(col_match == UNMATCHED):
-            round_id += 1
-            if _augment_from(int(v), visited_round, round_id):
-                progressed += 1
-                counters["augmentations"] += 1
-        if progressed == 0:
+        augmented, hits, edges, round_id = _pfp_phase(
+            col_ptr, col_ind, row_match, col_match, lookahead, visited_round, round_id
+        )
+        counters["augmentations"] += augmented
+        counters["lookahead_hits"] += hits
+        counters["edges_scanned"] += edges
+        if augmented == 0:
             break
 
     wall = time.perf_counter() - t0
-    return MatchingResult.create(
-        "PFP", Matching(row_match, col_match), counters=counters, wall_time=wall
+    result = Matching(
+        np.array(row_match, dtype=np.int64), np.array(col_match, dtype=np.int64)
     )
+    return MatchingResult.create("PFP", result, counters=counters, wall_time=wall)

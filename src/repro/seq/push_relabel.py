@@ -25,6 +25,7 @@ from collections import deque
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.frontier import distance_label_bfs
 from repro.matching import UNMATCHED, Matching, MatchingResult
 from repro.seq.greedy import cheap_matching
 
@@ -63,34 +64,23 @@ def _global_relabel(
 ) -> int:
     """Algorithm 2: exact distance labels via BFS from all unmatched rows.
 
-    Returns the maximum (finite) level reached, i.e. the paper's
-    ``maxLevel`` quantity used by the adaptive GPU strategy.
+    Runs as one whole-frontier :func:`~repro.graph.frontier.distance_label_bfs`
+    per call — levels and scanned-edge totals are identical to the historical
+    deque traversal.  Returns the maximum (finite) level reached, i.e. the
+    paper's ``maxLevel`` quantity used by the adaptive GPU strategy.
     """
-    infinity = graph.infinity_label
-    psi_row.fill(infinity)
-    psi_col.fill(infinity)
-    queue: deque[int] = deque()
-    for u in np.flatnonzero(row_match == UNMATCHED):
-        psi_row[u] = 0
-        queue.append(int(u))
-    max_level = 0
-    edges = 0
-    while queue:
-        u = queue.popleft()
-        level = psi_row[u]
-        for v in graph.row_neighbors(u):
-            edges += 1
-            v = int(v)
-            if psi_col[v] == infinity:
-                psi_col[v] = level + 1
-                w = col_match[v]
-                if w >= 0 and psi_row[w] == infinity:
-                    psi_row[w] = level + 2
-                    max_level = max(max_level, level + 2)
-                    queue.append(int(w))
+    max_level, edges = distance_label_bfs(
+        graph.row_ptr,
+        graph.row_ind,
+        row_match,
+        col_match,
+        psi_row,
+        psi_col,
+        graph.infinity_label,
+    )
     counters["global_relabels"] += 1
     counters["gr_edges_scanned"] += edges
-    return int(max_level)
+    return max_level
 
 
 def push_relabel_matching(
@@ -127,12 +117,12 @@ def push_relabel_matching(
     else:
         matching = initial.copy().canonical()
         init_edges = 0
-    row_match = matching.row_match
-    col_match = matching.col_match
+    row_match_arr = matching.row_match
+    col_match_arr = matching.col_match
 
     m, n = graph.n_rows, graph.n_cols
     infinity = graph.infinity_label
-    col_ptr, col_ind = graph.col_ptr, graph.col_ind
+    col_ptr, col_ind = graph.csr_lists("col")
 
     counters = {
         "pushes": 0,
@@ -146,28 +136,35 @@ def push_relabel_matching(
         "init_edges_scanned": int(init_edges),
     }
 
-    psi_row = np.zeros(m, dtype=np.int64)
-    psi_col = np.ones(n, dtype=np.int64)
+    psi_row_arr = np.zeros(m, dtype=np.int64)
+    psi_col_arr = np.ones(n, dtype=np.int64)
 
     if config.initial_global_relabel:
-        _global_relabel(graph, row_match, col_match, psi_row, psi_col, counters)
+        _global_relabel(graph, row_match_arr, col_match_arr, psi_row_arr, psi_col_arr, counters)
+
+    # The push loop touches one adjacency slice and a handful of labels per
+    # iteration, so it runs on plain list state (frontier-layer split, see
+    # repro.graph.frontier); the ndarrays cross back only for the vectorized
+    # global relabels.
+    row_match = row_match_arr.tolist()
+    col_match = col_match_arr.tolist()
+    psi_row = psi_row_arr.tolist()
+    psi_col = psi_col_arr.tolist()
 
     active: deque[int] = deque(
-        int(v) for v in np.flatnonzero(col_match == UNMATCHED) if psi_col[v] < infinity
+        v for v in range(n) if col_match[v] == UNMATCHED and psi_col[v] < infinity
     )
-    # Columns already unreachable after the first global relabel are retired.
-    for v in np.flatnonzero(col_match == UNMATCHED):
-        if psi_col[v] >= infinity:
-            col_match[v] = UNMATCHED  # stays unmatched; nothing to do
 
     # Gap heuristic bookkeeping: number of columns per label value.
-    label_counts = np.zeros(2 * infinity + 3, dtype=np.int64)
+    label_counts = [0] * (2 * infinity + 3)
     if config.gap_relabeling:
-        finite = psi_col[psi_col < infinity]
-        np.add.at(label_counts, finite, 1)
+        for label in psi_col:
+            if label < infinity:
+                label_counts[label] += 1
 
     relabel_threshold = max(1, int(config.global_relabel_k * (n + m)))
     pushes_since_relabel = 0
+    edges_scanned = 0
 
     while active:
         v = active.popleft()
@@ -178,23 +175,22 @@ def push_relabel_matching(
             continue
 
         # Find the neighbouring row with minimum label (early exit at ψ(v) − 1).
-        start, stop = col_ptr[v], col_ptr[v + 1]
+        stop = col_ptr[v + 1]
         psi_min = infinity
         u_min = -1
         target = psi_v - 1
-        for idx in range(start, stop):
-            counters["edges_scanned"] += 1
-            u = col_ind[idx]
-            pu = psi_row[u]
+        for idx in range(col_ptr[v], stop):
+            edges_scanned += 1
+            pu = psi_row[col_ind[idx]]
             if pu < psi_min:
                 psi_min = pu
-                u_min = u
+                u_min = col_ind[idx]
                 if psi_min == target:
                     break
 
         if psi_min < infinity:
-            u = int(u_min)
-            w = int(row_match[u])
+            u = u_min
+            w = row_match[u]
             counters["pushes"] += 1
             pushes_since_relabel += 1
             if w != UNMATCHED:
@@ -215,13 +211,19 @@ def push_relabel_matching(
                     label_counts[old_label] -= 1
                     if label_counts[old_label] == 0 and old_label > 0:
                         # Gap: every column strictly above the gap is unreachable.
+                        # Each label value present above the gap is decremented
+                        # once — the (buffered) fancy-assignment semantics of
+                        # the historical `label_counts[psi_col[gapped]] -= 1`,
+                        # which dropped duplicate occurrences.
                         counters["gap_events"] += 1
-                        above = psi_col > old_label
-                        above &= psi_col < infinity
-                        if np.any(above):
-                            gapped = np.flatnonzero(above)
-                            label_counts[psi_col[gapped]] -= 1
-                            psi_col[gapped] = infinity
+                        decremented = set()
+                        for c in range(n):
+                            label = psi_col[c]
+                            if old_label < label < infinity:
+                                if label not in decremented:
+                                    decremented.add(label)
+                                    label_counts[label] -= 1
+                                psi_col[c] = infinity
                 if psi_col[v] < infinity:
                     label_counts[psi_col[v]] += 1
         else:
@@ -231,16 +233,25 @@ def push_relabel_matching(
 
         if pushes_since_relabel >= relabel_threshold:
             pushes_since_relabel = 0
-            _global_relabel(graph, row_match, col_match, psi_row, psi_col, counters)
+            row_match_arr = np.array(row_match, dtype=np.int64)
+            col_match_arr = np.array(col_match, dtype=np.int64)
+            _global_relabel(
+                graph, row_match_arr, col_match_arr, psi_row_arr, psi_col_arr, counters
+            )
+            psi_row = psi_row_arr.tolist()
+            psi_col = psi_col_arr.tolist()
             if config.gap_relabeling:
-                label_counts.fill(0)
-                finite = psi_col[psi_col < infinity]
-                np.add.at(label_counts, finite, 1)
+                label_counts = [0] * (2 * infinity + 3)
+                for label in psi_col:
+                    if label < infinity:
+                        label_counts[label] += 1
             active = deque(
-                int(c) for c in np.flatnonzero(col_match == UNMATCHED) if psi_col[c] < infinity
+                c for c in range(n) if col_match[c] == UNMATCHED and psi_col[c] < infinity
             )
 
+    counters["edges_scanned"] += edges_scanned
     wall = time.perf_counter() - t0
-    return MatchingResult.create(
-        "PR", Matching(row_match, col_match), counters=counters, wall_time=wall
+    result = Matching(
+        np.array(row_match, dtype=np.int64), np.array(col_match, dtype=np.int64)
     )
+    return MatchingResult.create("PR", result, counters=counters, wall_time=wall)

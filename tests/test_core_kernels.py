@@ -255,3 +255,94 @@ def test_shrink_kernel_compacts():
     assert len(new_ap) == 2
     assert np.all(new_ap == -1)
     assert len(work) == 8
+
+
+# --------------------------------------------------- lockstep race semantics
+def test_lockstep_wave_reads_launch_state_without_snapshots():
+    """Pins the lockstep visibility contract after the snapshot-copy removal.
+
+    Within one wave every thread must observe launch-time memory (the
+    vectorized kernels get this structurally: all reads happen before the
+    first write), and conflicting writes resolve last-writer-wins.  Two
+    columns sharing their minimum-label row must therefore BOTH select it
+    from the launch-time labels — the later column wins the row — and the
+    psi updates must reflect the shared pre-push minimum.
+    """
+    # col 0 -> {row 0};  col 1 -> {row 0, row 1}.
+    g = from_edges([(0, 0), (0, 1), (1, 1)], n_rows=2, n_cols=2)
+    mu_row, mu_col, psi_row, psi_col = _state(g)
+    psi_row[:] = (0, 5)  # row 0 is the strict minimum for both columns
+    psi_col[:] = (1, 1)
+    act, work = push_kernel_all_columns(g, mu_row, mu_col, psi_row, psi_col)
+    assert act
+    # Both pushed to row 0 against the launch-time labels; column 1 wrote last.
+    assert mu_col.tolist() == [0, 0]
+    assert mu_row[0] == 1
+    assert psi_col.tolist() == [1, 1]  # psi_min + 1 with psi_min = 0
+    assert psi_row[0] == 2  # psi_min + 2 (both writers agreed on the value)
+    assert mu_row[1] == UNMATCHED and psi_row[1] == 5  # untouched
+    assert len(work) == 2
+
+
+def test_later_waves_observe_earlier_waves_writes():
+    """With wave_size=1 the second wave must see the first wave's updates:
+    wave 0's push raises row 0's label from 0 to 2, past row 1's label 1,
+    so wave 1 picks row 1 and no conflict occurs — whereas a single
+    lockstep wave (previous test's shape) would have both columns fight
+    over row 0.  This is the exact multi-wave visibility the engine models."""
+    g = from_edges([(0, 0), (0, 1), (1, 1)], n_rows=2, n_cols=2)
+    mu_row, mu_col, psi_row, psi_col = _state(g)
+    psi_row[:] = (0, 1)  # row 0 is the launch-time minimum for both columns
+    psi_col[:] = (1, 1)
+    act, _ = push_kernel_all_columns(g, mu_row, mu_col, psi_row, psi_col, wave_size=1)
+    assert act
+    assert mu_col.tolist() == [0, 1]
+    assert mu_row.tolist() == [0, 1]  # both consistent: no lost push
+    assert psi_row.tolist() == [2, 3]  # wave 1 saw psi_row[0] == 2, took row 1 at 1
+
+
+def test_active_list_push_reads_prepush_match_state():
+    """Algorithm 9's double-push bookkeeping reads mu_row *before* any wave
+    write: the displaced column recorded in ap must be the pre-push match
+    even though the same launch overwrites mu_row in place."""
+    g = from_edges([(0, 0), (0, 1)], n_rows=1, n_cols=2)
+    mu_row = np.array([1], dtype=np.int64)  # row 0 currently matched to col 1
+    mu_col = np.array([UNMATCHED, 0], dtype=np.int64)
+    psi_row = np.zeros(1, dtype=np.int64)
+    psi_col = np.ones(2, dtype=np.int64)
+    ac = np.array([0], dtype=np.int64)
+    ap = np.full(1, -1, dtype=np.int64)
+    ia = np.full(2, -1, dtype=np.int64)
+    ia[0] = 7
+    push_kernel_active_list(g, mu_row, mu_col, psi_row, psi_col, ac, ap, ia, loop=7)
+    assert mu_row[0] == 0 and mu_col[0] == 0
+    assert ap[0] == 1  # the pre-push owner, read from live (not yet written) memory
+
+
+def test_lockstep_and_serialized_agree_on_cardinality_after_races():
+    """The paper's §III-B argument: any interleaving yields a maximum
+    matching.  Run the conflict-heavy all-columns kernel to a fixpoint under
+    both engines (snapshot-free lockstep vs fully serialized) and compare."""
+    from repro.core.kernels import fix_matching_kernel as fix
+    from repro.generators import uniform_random_bipartite
+    from repro.seq.verify import maximum_matching_cardinality
+
+    g = uniform_random_bipartite(40, 40, avg_degree=3.0, seed=21)
+    outcomes = {}
+    for engine in ("lockstep", "serialized"):
+        mu_row, mu_col, psi_row, psi_col = _state(g)
+        gpu_global_relabel(g, mu_row, mu_col, psi_row, psi_col, VirtualGPU())
+        for _ in range(10_000):
+            if engine == "lockstep":
+                act, _ = push_kernel_all_columns(g, mu_row, mu_col, psi_row, psi_col)
+            else:
+                act, _ = push_kernel_all_columns_serialized(
+                    g, mu_row, mu_col, psi_row, psi_col, rng=np.random.default_rng(3)
+                )
+            if not act:
+                break
+            gpu_global_relabel(g, mu_row, mu_col, psi_row, psi_col, VirtualGPU())
+        fix(mu_row, mu_col)
+        outcomes[engine] = int(np.count_nonzero(mu_row >= 0))
+    expected = maximum_matching_cardinality(g)
+    assert outcomes["lockstep"] == outcomes["serialized"] == expected

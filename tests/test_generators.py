@@ -59,7 +59,7 @@ def test_rmat_properties():
     assert g.n_cols == 512
     validate_graph(g)
     # Kronecker degree distributions are heavily skewed.
-    degs = g.column_degrees()
+    degs = g.col_degrees
     assert degs.max() > 4 * max(1.0, degs.mean())
 
 
@@ -79,7 +79,7 @@ def test_kronecker_alias():
 
 def test_chung_lu_power_law_skew():
     g = chung_lu_bipartite(600, 600, avg_degree=8.0, exponent=2.0, seed=9)
-    degs = np.concatenate([g.row_degrees(), g.column_degrees()])
+    degs = np.concatenate([g.row_degrees, g.col_degrees])
     assert degs.max() > 5 * degs.mean()
 
 
@@ -98,8 +98,8 @@ def test_grid_graph_structure():
     g = grid_graph(5, 4)
     assert g.shape == (20, 20)
     # Interior vertices of a 4-neighbour grid have degree 4.
-    assert g.row_degrees().max() == 4
-    assert g.row_degrees().min() == 2
+    assert g.row_degrees.max() == 4
+    assert g.row_degrees.min() == 2
 
 
 def test_grid_graph_diagonal_adds_edges():
@@ -120,12 +120,12 @@ def test_delaunay_perfect_or_near_perfect():
     mm = maximum_matching_cardinality(g)
     assert mm >= 0.98 * g.n_rows
     # Delaunay triangulations have bounded average degree ~6.
-    assert g.column_degrees().mean() < 8.5
+    assert g.col_degrees.mean() < 8.5
 
 
 def test_trace_graph_sparse_and_matchable():
     g = trace_graph(600, seed=23)
-    assert g.column_degrees().mean() < 7
+    assert g.col_degrees.mean() < 7
     mm = maximum_matching_cardinality(g)
     assert mm >= 0.97 * g.n_rows
 

@@ -38,8 +38,8 @@ def test_neighbor_index_out_of_range(tiny_graph):
 
 
 def test_degrees(tiny_graph):
-    assert list(tiny_graph.column_degrees()) == [2, 2, 2, 0]
-    assert list(tiny_graph.row_degrees()) == [2, 1, 2, 1]
+    assert list(tiny_graph.col_degrees) == [2, 2, 2, 0]
+    assert list(tiny_graph.row_degrees) == [2, 1, 2, 1]
 
 
 def test_has_edge(tiny_graph):
