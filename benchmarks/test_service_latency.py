@@ -1,0 +1,184 @@
+"""Latency and shedding behaviour of the matching server under load.
+
+Three claims, measured with the load generator from
+:mod:`repro.server.loadgen` against a real server on an ephemeral port:
+
+* **clean load** — request latency stays interactive on the tiny profile
+  and the server's ``/metrics`` p50/p99 agree in shape with the client-side
+  view (the numbers are attached to ``benchmark.extra_info``);
+* **fault schedule** — under ≥5% injected crashes plus ≥5% stalls, only the
+  sabotaged requests fail or time out: every other admitted request returns
+  a matching **bit-identical** to a direct :class:`MatchingService` run, and
+  the server's leakage counter stays at zero;
+* **saturation** — overload is shed with 429s that are visible in
+  ``/metrics`` reject counters, while every accepted request still
+  terminates cleanly.
+
+Profile/seed knobs mirror the other service benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine import FaultSchedule, MatchingJob
+from repro.generators.suite import generate_instance
+from repro.server import MatchingServer, QuotaPolicy
+from repro.server.loadgen import run_load
+from repro.service import MatchingService
+
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20130421"))
+BENCH_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+_GRAPHS = ("amazon0505", "roadNet-PA", "delaunay_n20")
+_ALGORITHMS = ("pr", "g-pr", "karp-sipser")
+
+
+def _boot(**kwargs) -> MatchingServer:
+    server = MatchingServer(
+        backend="thread", workers=4, default_profile=BENCH_PROFILE, **kwargs
+    )
+    server.start_in_background()
+    return server
+
+
+def test_clean_load_latency(benchmark):
+    """Steady-state p50/p99 under a mixed-tenant load, no faults."""
+    server = _boot()
+    try:
+        # Warm the graph/result caches so the benchmark sees steady state.
+        run_load("127.0.0.1", server.port, requests=9, concurrency=3,
+                 graphs=_GRAPHS, algorithms=_ALGORITHMS,
+                 profile=BENCH_PROFILE, seed=BENCH_SEED)
+
+        def load():
+            return run_load(
+                "127.0.0.1", server.port, requests=48, concurrency=4, tenants=3,
+                graphs=_GRAPHS, algorithms=_ALGORITHMS,
+                profile=BENCH_PROFILE, seed=BENCH_SEED,
+            )
+
+        report = benchmark.pedantic(load, rounds=2, iterations=1)
+        assert report.requests == 48
+        assert report.statuses.get("ok", 0) == 48  # no shed, no failures
+        assert report.leaked == 0 and report.failed_requests == 0
+
+        # The server's exported percentiles must exist and be coherent.
+        latency = report.metrics["latency_seconds"]
+        assert latency["count"] >= 48
+        assert 0 <= latency["p50"] <= latency["p90"] <= latency["p99"] <= latency["max"]
+        assert report.metrics["requests"]["ok"] >= 48
+        assert report.metrics["cache"]["result"]["hit_rate"] > 0  # warm repeats hit
+
+        benchmark.extra_info["client_p50_ms"] = round(report.percentile(0.50) * 1e3, 3)
+        benchmark.extra_info["client_p99_ms"] = round(report.percentile(0.99) * 1e3, 3)
+        benchmark.extra_info["server_p50_ms"] = round(latency["p50"] * 1e3, 3)
+        benchmark.extra_info["server_p99_ms"] = round(latency["p99"] * 1e3, 3)
+        benchmark.extra_info["throughput_rps"] = round(report.throughput, 1)
+    finally:
+        server.shutdown()
+
+
+def test_fault_schedule_sheds_only_affected_requests():
+    """≥5% crash + ≥5% stall: unaffected requests are bit-identical to a
+    direct MatchingService run and the leakage counter stays zero."""
+    schedule = FaultSchedule(seed=17, crash_rate=0.1, stall_rate=0.1,
+                             stall_seconds=0.05, stall_margin=0.1)
+    server = _boot(fault_schedule=schedule, default_deadline=1.2, grace=0.4)
+    try:
+        report = run_load(
+            "127.0.0.1", server.port, requests=40, concurrency=4, tenants=2,
+            graphs=_GRAPHS, algorithms=_ALGORITHMS,
+            profile=BENCH_PROFILE, seed=BENCH_SEED,
+            deadline=1.2, include_matching=True,
+        )
+    finally:
+        server.shutdown()
+
+    assert report.requests == 40 and report.failed_requests == 0
+    assert report.leaked == 0
+    faults = report.metrics["faults"]
+    assert faults["leaked"] == 0
+    assert faults["scheduled"]["crash"] >= 1 and faults["scheduled"]["stall"] >= 1
+    # Accounting closes: crashes are exactly the failures, stalls exactly
+    # the timeouts, everything else is ok.
+    assert report.statuses.get("failed", 0) == faults["injected"]["crash"]
+    assert report.statuses.get("timeout", 0) == faults["injected"]["stall"]
+    assert report.statuses.get("ok", 0) == 40 - faults["injected_total"]
+
+
+def test_fault_survivors_bit_identical_to_direct_service():
+    """Row-level check: every ok row equals the direct service's matching."""
+    schedule = FaultSchedule(seed=23, crash_rate=0.15, stall_rate=0.1,
+                             stall_seconds=0.05, stall_margin=0.1)
+    server = _boot(fault_schedule=schedule, default_deadline=1.2, grace=0.4)
+    import http.client
+    import json
+
+    rows = []
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=15)
+        for index in range(16):
+            conn.request("POST", "/v1/match", body=json.dumps({
+                "graph": _GRAPHS[index % len(_GRAPHS)],
+                "algorithm": "pr",
+                "profile": BENCH_PROFILE,
+                "seed": BENCH_SEED,
+                "deadline": 1.2,
+                "include_matching": True,
+                "id": f"job-{index}",
+            }))
+            rows.append(json.loads(conn.getresponse().read()))
+        conn.close()
+    finally:
+        server.shutdown()
+
+    assert any(row["status"] != "ok" for row in rows)  # faults actually fired
+    with MatchingService(backend="inline", cache=True) as service:
+        for index, row in enumerate(rows):
+            if row["status"] != "ok":
+                assert row["injected_fault"] in ("crash", "stall")
+                continue
+            graph = generate_instance(
+                _GRAPHS[index % len(_GRAPHS)], profile=BENCH_PROFILE, seed=BENCH_SEED
+            )
+            direct = service.submit(MatchingJob(graph=graph, algorithm="pr"))
+            assert direct.ok
+            assert row["cardinality"] == direct.result.cardinality
+            assert row["row_match"] == [int(v) for v in direct.result.matching.row_match]
+
+
+def test_saturation_sheds_and_exports_reject_counts():
+    """Tiny quotas + stalling jobs: overload becomes 429s, not queue collapse."""
+    schedule = FaultSchedule(seed=5, stall_rate=1.0, stall_seconds=0.3)
+    server = _boot(
+        fault_schedule=schedule,
+        policy=QuotaPolicy(max_inflight_per_tenant=2, max_queue_depth=4),
+        default_deadline=2.0, grace=0.5,
+    )
+    try:
+        report = run_load(
+            "127.0.0.1", server.port, requests=24, concurrency=8, tenants=2,
+            graphs=_GRAPHS[:1], algorithms=("pr",),
+            profile=BENCH_PROFILE, seed=BENCH_SEED, deadline=2.0,
+        )
+    finally:
+        server.shutdown()
+
+    assert report.requests == 24 and report.failed_requests == 0
+    assert report.rejected > 0  # 8-way concurrency over depth-4 must shed
+    admission = report.metrics["admission"]
+    assert admission["rejected"] == report.rejected  # counters agree exactly
+    assert sum(admission["rejected_by_reason"].values()) == report.rejected
+    assert admission["depth"] == 0  # quiesced: every admitted slot released
+    # Accepted requests all terminated (stalls land as ok without a tight
+    # per-request deadline squeeze, or timeout under one — never lost).
+    accepted = report.requests - report.rejected
+    assert sum(report.statuses.values()) == accepted
+    assert report.leaked == 0 and report.metrics["faults"]["leaked"] == 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])

@@ -53,7 +53,7 @@ from repro.bench.harness import SuiteRunner, modeled_seconds_for
 from repro.bench.reports import build_figure1, build_figure2, build_figure3, build_figure4, build_table1, render_table
 from repro.core.api import SPECS, resolve_algorithm
 from repro.dynamic import IncrementalMatcher, read_update_trace
-from repro.engine import BACKEND_NAMES, Engine, JobError
+from repro.engine import BACKEND_NAMES, Engine, FaultSchedule, JobError
 from repro.engine.execution import validate_job_args
 from repro.generators.suite import SCALE_PROFILES, SUITE_SPECS, generate_instance, instance_names
 from repro.generators.updates import random_update_trace
@@ -593,6 +593,55 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import MatchingServer, QuotaPolicy
+
+    schedule = None
+    if args.fault_crash_rate or args.fault_stall_rate or args.fault_slow_rate:
+        schedule = FaultSchedule(
+            seed=args.fault_seed,
+            crash_rate=args.fault_crash_rate,
+            stall_rate=args.fault_stall_rate,
+            slow_rate=args.fault_slow_rate,
+        )
+    server = MatchingServer(
+        backend=args.backend,
+        workers=args.workers,
+        policy=QuotaPolicy(
+            max_inflight_per_tenant=args.max_inflight_per_tenant,
+            max_queue_depth=args.max_queue_depth,
+        ),
+        default_deadline=args.default_deadline,
+        default_profile=args.profile,
+        default_seed=args.seed,
+        max_cache_entries=args.cache_entries,
+        fault_schedule=schedule,
+    )
+
+    async def serve() -> None:
+        await server.start(args.host, args.port)
+        # Machine-readable readiness line: the smoke job and scripts parse the
+        # bound port from here (required with --port 0).
+        print(json.dumps({"type": "ready", "host": server.host, "port": server.port,
+                          "backend": server.engine.backend.name,
+                          "fault_injection": server.fault_injection}), flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, server.stop)
+        await server.serve_until_stopped(args.ttl)
+
+    try:
+        asyncio.run(serve())
+    finally:
+        server.engine.shutdown()
+    print(json.dumps({"type": "stopped",
+                      "requests": server.metrics.requests_total}), flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(prog="repro-matching", description=__doc__)
@@ -689,6 +738,43 @@ def build_parser() -> argparse.ArgumentParser:
                            f"{perfbaseline.CROSS_PROFILE_SLACK}x across profiles)")
     perf.add_argument("--format", default="table", choices=("table", "json"))
     perf.set_defaults(func=_cmd_perf)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async matching server (HTTP/JSON, admission control, /metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (0 = ephemeral; the bound port is printed "
+                            "in the JSON 'ready' line)")
+    serve.add_argument("--backend", default="thread", choices=BACKEND_NAMES,
+                       help="execution backend for matching jobs")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker pool size (0 = backend default)")
+    serve.add_argument("--max-inflight-per-tenant", type=int, default=8,
+                       help="per-tenant admission quota")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="server-wide in-flight bound (also the engine's "
+                            "max_inflight backpressure limit)")
+    serve.add_argument("--default-deadline", type=float, default=None,
+                       help="deadline in seconds for requests without one")
+    serve.add_argument("--cache-entries", type=int, default=1024,
+                       help="warm result-cache capacity")
+    serve.add_argument("--profile", default="small",
+                       help="default scale profile for suite-instance requests")
+    serve.add_argument("--seed", type=int, default=20130421,
+                       help="default generator seed for suite-instance requests")
+    serve.add_argument("--fault-crash-rate", type=float, default=0.0,
+                       help="fault injection: fraction of jobs crashed (testing)")
+    serve.add_argument("--fault-stall-rate", type=float, default=0.0,
+                       help="fault injection: fraction of jobs stalled past deadline")
+    serve.add_argument("--fault-slow-rate", type=float, default=0.0,
+                       help="fault injection: fraction of jobs delayed at start")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the deterministic fault schedule")
+    serve.add_argument("--ttl", type=float, default=None,
+                       help="auto-stop after this many seconds (smoke tests)")
+    serve.set_defaults(func=_cmd_serve)
 
     lst = sub.add_parser("list", help="list suite instances and algorithms")
     lst.set_defaults(func=_cmd_list)

@@ -38,8 +38,15 @@ True
 
 from repro.engine.backends import ExecutionBackend, InlineBackend, ThreadBackend
 from repro.engine.device import DevicePoolBackend
-from repro.engine.engine import BACKEND_NAMES, Engine, as_completed, create_backend
+from repro.engine.engine import (
+    BACKEND_NAMES,
+    Engine,
+    EngineSaturatedError,
+    as_completed,
+    create_backend,
+)
 from repro.engine.execution import execute_job, resolve_job_plan
+from repro.engine.faults import FaultInjectingBackend, FaultSchedule, InjectedCrashError
 from repro.engine.handles import (
     JobCancelledError,
     JobError,
@@ -56,8 +63,12 @@ __all__ = [
     "BACKEND_NAMES",
     "DevicePoolBackend",
     "Engine",
+    "EngineSaturatedError",
     "ExecutionBackend",
+    "FaultInjectingBackend",
+    "FaultSchedule",
     "INITIAL_CHOICES",
+    "InjectedCrashError",
     "InlineBackend",
     "JobCancelledError",
     "JobError",

@@ -112,6 +112,21 @@ class PooledBackend:
                 self._pool = self._make_pool()
             return self._pool
 
+    def _pool_submit(self, fn, *args):
+        """Submit ``fn(*args)`` to the pool, keeping the backend's own error contract.
+
+        The executor can be shut down between :meth:`_ensure_pool` and its
+        ``submit`` (a racing :meth:`shutdown` from another thread); the
+        executor's own ``RuntimeError`` ("cannot schedule new futures...") is
+        an internal detail, so it is re-raised as the same clear error a
+        checked-first submit would have produced.
+        """
+        pool = self._ensure_pool()
+        try:
+            return pool.submit(fn, *args)
+        except RuntimeError as exc:
+            raise RuntimeError("backend is shut down") from exc
+
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
             self._closed = True
@@ -142,5 +157,5 @@ class ThreadBackend(PooledBackend):
         )
 
     def submit(self, handle: JobHandle) -> None:
-        future = self._ensure_pool().submit(run_handle, handle, self.name)
+        future = self._pool_submit(run_handle, handle, self.name)
         handle._cancel_hook = future.cancel

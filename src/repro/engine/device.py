@@ -70,7 +70,7 @@ class DevicePoolBackend(PooledBackend):
         )
 
     def submit(self, handle: JobHandle) -> None:
-        future = self._ensure_pool().submit(self._run, handle)
+        future = self._pool_submit(self._run, handle)
         handle._cancel_hook = future.cancel
 
     def _run(self, handle: JobHandle) -> None:

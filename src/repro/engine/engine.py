@@ -21,6 +21,7 @@ raising job cannot abort a streamed batch.
 from __future__ import annotations
 
 import queue as _queue
+import threading
 import time
 import weakref
 from typing import Iterable, Iterator, Sequence
@@ -29,15 +30,30 @@ from repro.core.api import ExecutionPlan
 from repro.engine.backends import ExecutionBackend, InlineBackend, ThreadBackend
 from repro.engine.device import DevicePoolBackend
 from repro.engine.execution import check_warm_start, resolve_job_plan
-from repro.engine.handles import JobHandle
+from repro.engine.handles import JobHandle, JobStatus
 from repro.engine.job import MatchingJob
 from repro.engine.process import ProcessPoolBackend
 from repro.matching import Matching, MatchingResult
 
-__all__ = ["BACKEND_NAMES", "Engine", "as_completed", "create_backend"]
+__all__ = [
+    "BACKEND_NAMES",
+    "Engine",
+    "EngineSaturatedError",
+    "as_completed",
+    "create_backend",
+]
 
 #: Registry names accepted by :func:`create_backend` / ``Engine(backend=...)``.
 BACKEND_NAMES = ("inline", "thread", "process", "device")
+
+
+class EngineSaturatedError(RuntimeError):
+    """``Engine.submit`` refused a job: ``max_inflight`` jobs are already in flight.
+
+    The backpressure signal for long-lived callers (the matching server maps
+    it onto a 429-style shed); batch callers without an admission layer
+    should treat it as "try again once something completes".
+    """
 
 
 def create_backend(
@@ -114,6 +130,10 @@ class Engine:
     default_timeout:
         Deadline in seconds applied to every job submitted without an
         explicit ``timeout``; ``None`` means no deadline.
+    max_inflight:
+        Backpressure bound: the maximum number of submitted-but-unfinished
+        jobs.  :meth:`submit` raises :class:`EngineSaturatedError` instead of
+        queueing past it; ``None`` (default) means unbounded.
     own_backend:
         Whether :meth:`shutdown` (and garbage collection of an abandoned
         engine) tears the backend down.  Default: the engine owns a backend
@@ -129,8 +149,11 @@ class Engine:
         devices=None,
         device_factory=None,
         default_timeout: float | None = None,
+        max_inflight: int | None = None,
         own_backend: bool | None = None,
     ) -> None:
+        if max_inflight is not None and max_inflight <= 0:
+            raise ValueError("max_inflight must be positive (or None for unbounded)")
         self.backend = create_backend(
             backend,
             max_workers=max_workers,
@@ -138,7 +161,10 @@ class Engine:
             device_factory=device_factory,
         )
         self.default_timeout = default_timeout
+        self.max_inflight = max_inflight
         self.jobs_submitted = 0
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         self._closed = False
         self._owns_backend = isinstance(backend, str) if own_backend is None else own_backend
         # Reclaim pooled workers even if the engine is abandoned without an
@@ -193,10 +219,14 @@ class Engine:
         TypeError
             Unknown keyword arguments or an inapplicable warm-start.
         RuntimeError
-            The engine is shut down.
+            The engine is shut down (or its shared backend was shut down
+            underneath it).
+        EngineSaturatedError
+            ``max_inflight`` jobs are already in flight; retry after one
+            completes.
         """
         if self._closed:
-            raise RuntimeError("engine is shut down")
+            raise RuntimeError("engine is shut down; create a new Engine to submit jobs")
         if plan is None:
             plan = resolve_job_plan(job)
         elif initial_matching is None:
@@ -205,9 +235,34 @@ class Engine:
             timeout = self.default_timeout
         deadline = None if timeout is None else time.monotonic() + timeout
         handle = JobHandle(job, plan, deadline=deadline, initial_matching=initial_matching)
+        with self._inflight_lock:
+            if self.max_inflight is not None and self._inflight >= self.max_inflight:
+                raise EngineSaturatedError(
+                    f"{self._inflight} jobs in flight >= max_inflight={self.max_inflight}"
+                )
+            self._inflight += 1
+        # Registered before the backend sees the handle: the inline backend
+        # finishes the job inside submit(), and the slot must drop with it.
+        handle._add_done_callback(self._release_inflight)
         self.jobs_submitted += 1
-        self.backend.submit(handle)
+        try:
+            self.backend.submit(handle)
+        except BaseException:
+            # The job never entered the backend; finalise the handle so the
+            # in-flight slot is released and waiters are not left hanging.
+            handle._finish(JobStatus.CANCELLED)
+            raise
         return handle
+
+    def _release_inflight(self, handle: JobHandle) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Jobs submitted to this engine that have not reached a terminal status."""
+        with self._inflight_lock:
+            return self._inflight
 
     def map(
         self, jobs: Sequence[MatchingJob], *, timeout: float | None = None
@@ -259,7 +314,14 @@ class Engine:
 
     # -------------------------------------------------------------- lifecycle
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting submissions; tear the backend down if this engine owns it."""
+        """Stop accepting submissions; tear the backend down if this engine owns it.
+
+        Idempotent: further calls (and context-manager re-exits) are no-ops,
+        and later :meth:`submit` calls raise a plain ``RuntimeError`` rather
+        than surfacing executor internals.
+        """
+        if self._closed:
+            return
         self._closed = True
         if self._owns_backend:
             self._finalizer.detach()

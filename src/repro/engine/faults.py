@@ -1,0 +1,204 @@
+"""Deterministic fault injection for execution backends.
+
+:class:`FaultInjectingBackend` wraps any :class:`~repro.engine.backends.ExecutionBackend`
+and sabotages a seeded subset of the jobs flowing through it:
+
+* ``crash``  — the runner raises :class:`InjectedCrashError`, exercising the
+  engine's failure-isolation path (the handle must land ``failed`` with the
+  captured error while sibling jobs are untouched);
+* ``stall``  — the runner sleeps past the job's deadline before producing its
+  result, exercising the late-result-discard path (the handle must land
+  ``timeout``, never hang);
+* ``slow``   — the runner sleeps a fixed warm-up before executing normally,
+  modelling cold workers (the job must still succeed, bit-identically).
+
+Faults are drawn per submission *sequence number* from a seeded hash, so a
+given :class:`FaultSchedule` injects the same faults in the same order no
+matter which backend executes the jobs or how threads interleave — every
+robustness claim the server makes can therefore be pinned by a test instead
+of asserted in prose.  The wrapper works by replacing the handle's resolved
+plan with a picklable :class:`FaultyPlan`, so it composes with the inline,
+thread *and* process backends (the sabotage ships to pool workers along with
+the plan).
+
+The test harness in ``tests/faultinject.py`` builds on this module; the
+server's ``repro serve --fault-*`` flags use it directly for the CI smoke.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.backends import ExecutionBackend
+from repro.engine.handles import JobHandle
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjectingBackend",
+    "FaultSchedule",
+    "FaultyPlan",
+    "InjectedCrashError",
+]
+
+#: The injectable fault kinds, in schedule-draw order.
+FAULT_KINDS = ("crash", "stall", "slow")
+
+
+class InjectedCrashError(RuntimeError):
+    """Raised by a sabotaged runner; must surface as a captured ``JobFailure``."""
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Seeded per-job fault assignment.
+
+    Each rate is the probability of that fault for one submission; they are
+    drawn from one uniform sample per sequence number, so the rates must sum
+    to at most 1.  ``stall_seconds`` is the *minimum* stall — when the job
+    carries a deadline the stall is stretched to ``deadline_remaining +
+    stall_margin`` so an injected stall on a deadlined job always outlives
+    the deadline (a bounded stand-in for a genuine hang).
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    stall_rate: float = 0.0
+    slow_rate: float = 0.0
+    stall_seconds: float = 0.2
+    stall_margin: float = 0.15
+    slow_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "stall_rate", "slow_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.crash_rate + self.stall_rate + self.slow_rate > 1.0 + 1e-12:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.stall_seconds < 0 or self.stall_margin < 0 or self.slow_seconds < 0:
+            raise ValueError("fault durations must be non-negative")
+
+    @property
+    def any_faults(self) -> bool:
+        return (self.crash_rate + self.stall_rate + self.slow_rate) > 0.0
+
+    def draw(self, sequence: int) -> str | None:
+        """The fault for submission number ``sequence`` (``None`` = clean).
+
+        Deterministic in ``(seed, sequence)`` alone — independent of thread
+        interleaving, backend choice and draw order.
+        """
+        sample = random.Random(f"{self.seed}:{sequence}").random()
+        if sample < self.crash_rate:
+            return "crash"
+        if sample < self.crash_rate + self.stall_rate:
+            return "stall"
+        if sample < self.crash_rate + self.stall_rate + self.slow_rate:
+            return "slow"
+        return None
+
+
+@dataclass(frozen=True)
+class FaultyPlan:
+    """A picklable sabotage wrapper around a resolved execution plan.
+
+    Quacks like :class:`~repro.core.api.ExecutionPlan` where backends need it
+    (``run`` plus the ``algorithm`` / ``spec`` / ``deterministic`` surface)
+    and ships to process-pool workers exactly like the plan it wraps.
+    """
+
+    plan: object
+    fault: str
+    delay_seconds: float = 0.0
+
+    @property
+    def algorithm(self):
+        return self.plan.algorithm
+
+    @property
+    def spec(self):
+        return self.plan.spec
+
+    @property
+    def deterministic(self):
+        return self.plan.deterministic
+
+    def run(self, graph, initial=None):
+        if self.fault == "crash":
+            raise InjectedCrashError(
+                f"injected crash (algorithm {self.plan.algorithm!r})"
+            )
+        time.sleep(self.delay_seconds)
+        return self.plan.run(graph, initial)
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One injected fault: which submission, which job, which sabotage."""
+
+    sequence: int
+    job_id: str | None
+    fault: str
+
+
+@dataclass
+class FaultInjectingBackend:
+    """An :class:`ExecutionBackend` decorator that sabotages scheduled jobs.
+
+    Wrap any backend::
+
+        schedule = FaultSchedule(seed=7, crash_rate=0.1, stall_rate=0.1)
+        backend = FaultInjectingBackend(ThreadBackend(2), schedule)
+        engine = Engine(backend=backend, own_backend=True)
+
+    Every submission draws its fault from the schedule; sabotaged handles get
+    ``handle.injected_fault`` set (``"crash"`` / ``"stall"`` / ``"slow"``) so
+    callers can attribute failures to injections, and the full log is kept in
+    :attr:`injected`.  Clean jobs pass through untouched.
+    """
+
+    inner: ExecutionBackend
+    schedule: FaultSchedule
+    injected: list[InjectionRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sequence = 0
+        self.submitted = 0
+        self.counts = {kind: 0 for kind in FAULT_KINDS}
+
+    @property
+    def name(self) -> str:
+        return f"fault+{self.inner.name}"
+
+    def _stall_delay(self, handle: JobHandle) -> float:
+        base = self.schedule.stall_seconds
+        if handle.deadline is None:
+            return base
+        remaining = handle.deadline - time.monotonic()
+        return max(base, remaining + self.schedule.stall_margin)
+
+    def submit(self, handle: JobHandle) -> None:
+        with self._lock:
+            sequence = self._sequence
+            self._sequence += 1
+            self.submitted += 1
+            fault = self.schedule.draw(sequence)
+            if fault is not None:
+                self.counts[fault] += 1
+                self.injected.append(InjectionRecord(sequence, handle.job.job_id, fault))
+        if fault is not None:
+            delay = (
+                self._stall_delay(handle)
+                if fault == "stall"
+                else self.schedule.slow_seconds if fault == "slow" else 0.0
+            )
+            handle.plan = FaultyPlan(handle.plan, fault, delay)
+            handle.injected_fault = fault
+        self.inner.submit(handle)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.inner.shutdown(wait=wait)

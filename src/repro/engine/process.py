@@ -80,7 +80,7 @@ class ProcessPoolBackend(PooledBackend):
                 worker=self.name,
             )
             return
-        future = self._ensure_pool().submit(
+        future = self._pool_submit(
             _process_worker, handle.job, handle.plan, handle.initial_matching, handle.deadline
         )
         handle._cancel_hook = future.cancel

@@ -1,0 +1,54 @@
+"""Async matching-as-a-service front end with admission control.
+
+The paper's premise — no single matching algorithm/backend wins everywhere —
+pays off when jobs from many tenants are queued, scheduled and observed by
+one long-lived server rather than one-shot CLI runs.  This package wraps the
+:class:`~repro.engine.Engine` in an asyncio HTTP/JSON front end:
+
+* :class:`~repro.server.app.MatchingServer` — the server itself: request
+  queueing, per-request deadlines mapped onto the engine's
+  :class:`~repro.engine.JobHandle` deadline/cancellation paths, streaming
+  batch results in completion order, warm graph- and result-caches keyed on
+  :meth:`~repro.graph.bipartite.BipartiteGraph.content_hash`, and a
+  ``/metrics`` endpoint;
+* :class:`~repro.server.admission.AdmissionController` — per-tenant
+  in-flight quotas and a server-wide queue-depth bound; overload is *shed*
+  with 429-style errors instead of queueing without bound;
+* :class:`~repro.server.metrics.ServerMetrics` — counters, p50/p99 latency
+  and fault-leakage accounting exported by ``/metrics``;
+* :mod:`~repro.server.loadgen` — the load generator driving the latency
+  benchmark and the CI ``server-smoke`` job.
+
+Start one from the CLI with ``python -m repro.cli serve`` (see
+``docs/service.md`` for the wire protocol) or in-process::
+
+    from repro.server import MatchingServer, QuotaPolicy
+
+    server = MatchingServer(backend="thread", workers=4,
+                            policy=QuotaPolicy(max_inflight_per_tenant=8))
+    host, port = server.start_in_background()
+    ...
+    server.stop()
+"""
+
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionTicket,
+    QuotaPolicy,
+)
+from repro.server.app import MatchingServer
+from repro.server.metrics import METRICS_SCHEMA, ServerMetrics
+from repro.server.protocol import GraphCache, ProtocolError
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionTicket",
+    "GraphCache",
+    "METRICS_SCHEMA",
+    "MatchingServer",
+    "ProtocolError",
+    "QuotaPolicy",
+    "ServerMetrics",
+]

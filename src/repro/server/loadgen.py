@@ -1,0 +1,262 @@
+"""Threaded load generator for the matching server.
+
+Drives ``POST /v1/match`` from ``--concurrency`` worker threads over plain
+``http.client`` (the server's own stack must not serve both sides), spreads
+requests across ``--tenants`` synthetic tenants and a pool of suite graphs,
+then scrapes ``GET /metrics`` and folds everything into a
+:class:`LoadReport`.  Used three ways:
+
+* ``benchmarks/test_service_latency.py`` — latency/throughput assertions;
+* the CI ``server-smoke`` job — boots ``repro serve`` with fault injection
+  and fails the build on any fault leakage (``--expect-no-leakage``);
+* by hand: ``python -m repro.server.loadgen --port N --requests 200``.
+
+Client-side 429s are *expected* under saturation and are reported, not
+failed; ``failed_requests`` counts transport errors only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.server.metrics import classify_leak
+
+__all__ = ["LoadReport", "run_load", "scrape_metrics"]
+
+_DEFAULT_GRAPHS = ("amazon0505", "roadNet-PA", "delaunay_n20")
+_DEFAULT_ALGORITHMS = ("pr", "g-pr", "karp-sipser")
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run (client-side view + /metrics)."""
+
+    requests: int = 0
+    statuses: dict = field(default_factory=dict)
+    http_statuses: dict = field(default_factory=dict)
+    rejected: int = 0
+    failed_requests: int = 0  # transport-level failures, not job failures
+    leaked: int = 0
+    wall_seconds: float = 0.0
+    latencies: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+    @property
+    def throughput(self) -> float:
+        return self.requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "statuses": dict(self.statuses),
+            "http_statuses": {str(k): v for k, v in self.http_statuses.items()},
+            "rejected": self.rejected,
+            "failed_requests": self.failed_requests,
+            "leaked": self.leaked,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "throughput_rps": round(self.throughput, 3),
+            "latency_seconds": {
+                "p50": self.percentile(0.50),
+                "p90": self.percentile(0.90),
+                "p99": self.percentile(0.99),
+            },
+            "server_metrics": self.metrics,
+        }
+
+
+def scrape_metrics(host: str, port: int, timeout: float = 10.0) -> dict:
+    """Fetch and decode the server's ``/metrics`` document."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        if response.status != 200:
+            raise RuntimeError(f"/metrics returned HTTP {response.status}: {payload}")
+        return payload
+    finally:
+        conn.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    requests: int = 100,
+    concurrency: int = 4,
+    tenants: int = 2,
+    graphs: tuple = _DEFAULT_GRAPHS,
+    algorithms: tuple = _DEFAULT_ALGORITHMS,
+    profile: str = "tiny",
+    seed: int = 1,
+    deadline: float | None = None,
+    include_matching: bool = False,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Fire ``requests`` match calls at the server and aggregate the outcome.
+
+    Request ``i`` deterministically picks tenant ``tenant-{i % tenants}``,
+    graph ``graphs[i % len(graphs)]`` and ``algorithms[i % len(algorithms)]``
+    — the mix is reproducible, so runs against a fault-injecting server see
+    the same (request, fault) pairing every time.
+    """
+    report = LoadReport()
+    lock = threading.Lock()
+    counter = iter(range(requests))
+
+    def payload_for(index: int) -> dict:
+        body = {
+            "tenant": f"tenant-{index % tenants}",
+            "graph": graphs[index % len(graphs)],
+            "profile": profile,
+            "seed": seed,
+            "algorithm": algorithms[index % len(algorithms)],
+            "id": f"load-{index}",
+            "include_matching": include_matching,
+        }
+        if deadline is not None:
+            body["deadline"] = deadline
+        return body
+
+    def worker() -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            while True:
+                with lock:
+                    index = next(counter, None)
+                if index is None:
+                    return
+                started = time.perf_counter()
+                try:
+                    conn.request(
+                        "POST",
+                        "/v1/match",
+                        body=json.dumps(payload_for(index)),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    row = json.loads(response.read())
+                except (OSError, http.client.HTTPException, ValueError):
+                    # Transport trouble invalidates this connection; reopen.
+                    conn.close()
+                    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+                    with lock:
+                        report.failed_requests += 1
+                    continue
+                elapsed = time.perf_counter() - started
+                with lock:
+                    report.requests += 1
+                    report.http_statuses[response.status] = (
+                        report.http_statuses.get(response.status, 0) + 1
+                    )
+                    if response.status == 429:
+                        report.rejected += 1
+                    elif response.status == 200:
+                        status = row.get("status", "?")
+                        report.statuses[status] = report.statuses.get(status, 0) + 1
+                        report.latencies.append(elapsed)
+                        if classify_leak(status, row.get("injected_fault")):
+                            report.leaked += 1
+                    else:
+                        report.failed_requests += 1
+        finally:
+            conn.close()
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(max(1, concurrency))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+    try:
+        report.metrics = scrape_metrics(host, port, timeout=timeout)
+    except (OSError, RuntimeError, ValueError):
+        report.metrics = {}
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.loadgen",
+        description="Load-test a running matching server and report latency/leakage.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--tenants", type=int, default=2)
+    parser.add_argument("--graphs", nargs="+", default=list(_DEFAULT_GRAPHS))
+    parser.add_argument("--algorithms", nargs="+", default=list(_DEFAULT_ALGORITHMS))
+    parser.add_argument("--profile", default="tiny")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--deadline", type=float, default=None)
+    parser.add_argument("--include-matching", action="store_true")
+    parser.add_argument(
+        "--expect-no-leakage",
+        action="store_true",
+        help="exit 1 unless client- and server-side fault leakage are both zero",
+    )
+    parser.add_argument("--format", choices=("json", "text"), default="text")
+    args = parser.parse_args(argv)
+
+    report = run_load(
+        args.host,
+        args.port,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        tenants=args.tenants,
+        graphs=tuple(args.graphs),
+        algorithms=tuple(args.algorithms),
+        profile=args.profile,
+        seed=args.seed,
+        deadline=args.deadline,
+        include_matching=args.include_matching,
+    )
+    doc = report.to_dict()
+    server_leaked = (
+        report.metrics.get("faults", {}).get("leaked", 0) if report.metrics else None
+    )
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        latency = doc["latency_seconds"]
+        print(
+            f"{report.requests} requests in {report.wall_seconds:.2f}s "
+            f"({doc['throughput_rps']} rps), statuses={doc['statuses']}, "
+            f"rejected={report.rejected}, transport_failures={report.failed_requests}"
+        )
+        print(
+            f"latency p50={latency['p50'] * 1e3:.1f}ms p99={latency['p99'] * 1e3:.1f}ms; "
+            f"leaked(client)={report.leaked} leaked(server)={server_leaked}"
+        )
+    if args.expect_no_leakage:
+        if report.leaked or (server_leaked is None or server_leaked > 0):
+            print(
+                f"FAULT LEAKAGE: client={report.leaked} server={server_leaked}",
+                file=sys.stderr,
+            )
+            return 1
+        if report.failed_requests:
+            print(f"{report.failed_requests} transport failures", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke job
+    raise SystemExit(main())

@@ -92,6 +92,7 @@ class MatchingService:
         self.cache_hits = 0
         self.deduplicated = 0
         self.jobs_failed = 0
+        self._closed = False
 
     # ----------------------------------------------------------------- public
     def submit(self, job: MatchingJob) -> JobResult:
@@ -146,6 +147,8 @@ class MatchingService:
             are isolated per job (``status="failed"`` with the captured
             error) while siblings complete normally.
         """
+        if self._closed:
+            raise RuntimeError("service is closed; create a new MatchingService to submit jobs")
         jobs = list(jobs)
         started = time.perf_counter()
         # Fail fast on malformed jobs so a bad manifest cannot waste a batch;
@@ -221,7 +224,15 @@ class MatchingService:
 
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut down the service's engine (no-op for a caller-owned engine)."""
+        """Shut down the service's engine (no-op for a caller-owned engine).
+
+        Idempotent: closing twice (or re-exiting the context manager) is a
+        no-op; submitting afterwards raises a plain ``RuntimeError`` instead
+        of surfacing pool internals.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._owns_engine:
             self.engine.shutdown()
 

@@ -1,0 +1,90 @@
+"""Fault-injection harness for the engine/server test layer.
+
+A thin, test-facing wrapper over :mod:`repro.engine.faults` (the library
+core the server's ``--fault-*`` flags also use).  The harness adds what the
+regression suites need repeatedly:
+
+* :func:`faulty_engine` — an :class:`~repro.engine.Engine` whose backend is
+  wrapped in a :class:`~repro.engine.faults.FaultInjectingBackend`, built
+  from a backend *name* so one test parametrises over inline/thread/process;
+* :func:`run_jobs` — submit a job list, wait for every handle, and return
+  ``(handles, backend)`` for outcome assertions;
+* :func:`outcome_table` — ``{job_id: (status, injected_fault)}`` so tests
+  compare complete campaigns against expectations in one assert.
+
+Deliberately *not* a ``test_*`` module: pytest must not collect it.  The
+regression suite lives in ``tests/test_faultinject.py``; property tests over
+admission control reuse the same schedules in ``tests/test_server.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.engine import (
+    Engine,
+    FaultInjectingBackend,
+    FaultSchedule,
+    InjectedCrashError,  # noqa: F401  (re-exported for the test modules)
+    InlineBackend,
+    MatchingJob,
+    ProcessPoolBackend,
+    ThreadBackend,
+)
+
+#: Backend factories by name; process uses fork so workers inherit the
+#: imported library instead of re-importing it per test (much faster, and
+#: identical semantics for these pure-compute jobs).
+BACKEND_FACTORIES = {
+    "inline": lambda: InlineBackend(),
+    "thread": lambda: ThreadBackend(max_workers=2),
+    "process": lambda: ProcessPoolBackend(max_workers=2, mp_context=_fork_context()),
+}
+
+
+def _fork_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return None
+
+
+@contextlib.contextmanager
+def faulty_engine(backend_name: str, schedule: FaultSchedule, **engine_kwargs):
+    """An engine over ``backend_name`` with ``schedule`` injected, plus the wrapper.
+
+    Yields ``(engine, fault_backend)`` — the wrapper exposes the injection
+    log (``injected``) and per-kind ``counts`` for attribution asserts.
+    """
+    backend = FaultInjectingBackend(BACKEND_FACTORIES[backend_name](), schedule)
+    engine = Engine(backend=backend, own_backend=True, **engine_kwargs)
+    try:
+        yield engine, backend
+    finally:
+        engine.shutdown()
+
+
+def make_jobs(graph, count: int, algorithm: str = "pr") -> list[MatchingJob]:
+    """``count`` identical-shape jobs with stable ids ``job-0 .. job-{n-1}``."""
+    return [
+        MatchingJob(graph=graph, algorithm=algorithm, job_id=f"job-{index}")
+        for index in range(count)
+    ]
+
+
+def run_jobs(engine: Engine, jobs, *, timeout=None):
+    """Submit every job (optionally deadlined), wait for all, return handles."""
+    handles = [engine.submit(job, timeout=timeout) for job in jobs]
+    for handle in handles:
+        handle.wait()
+    return handles
+
+
+def outcome_table(handles) -> dict:
+    """``{job_id: (status, injected_fault)}`` across a finished campaign."""
+    return {
+        handle.job.job_id: (handle.status.value, getattr(handle, "injected_fault", None))
+        for handle in handles
+    }
