@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Out-of-core memory gate: the CI ``shard-smoke`` job.
+
+Generates a seeded random bipartite instance straight to disk as
+``.mtx.gz`` (fixed-size chunks, the file is never materialized in memory),
+then drives it through the exact path a user takes —
+``repro run --mtx <file> --shards N`` — with :mod:`tracemalloc` tracing
+the whole ingest + solve.  The run fails if the traced peak exceeds
+``--budget-mb``.
+
+The budget is what makes this a *scaling* gate rather than a constant
+check: it is sized from the largest shard (plus the vertex-sized metadata
+that is always resident), so a regression that materializes the full edge
+list anywhere — the streaming reader, the shard router, the reconciler —
+overshoots it several-fold at the 10^7-entry scale, while legitimate
+per-shard allocations fit comfortably.  The companion property tests in
+``benchmarks/test_sharded_scaling.py`` pin the same contract at small
+sizes by measuring flatness across a ladder.
+
+Example (the CI invocation)::
+
+    python scripts/shard_smoke.py --entries 10000000 --rows 250000 \
+        --cols 250000 --shards 4 --budget-mb 600
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import tracemalloc
+from pathlib import Path
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--entries", type=int, default=10_000_000,
+        help="declared Matrix-Market entries to generate (default 10^7)",
+    )
+    parser.add_argument("--rows", type=int, default=250_000, help="rows per side")
+    parser.add_argument("--cols", type=int, default=250_000, help="columns")
+    parser.add_argument("--shards", type=int, default=4, help="shard count")
+    parser.add_argument(
+        "--partition", default="contiguous", choices=("contiguous", "degree"),
+        help="shard splitter handed to repro run",
+    )
+    parser.add_argument("--algorithm", default="hk", help="per-shard kernel")
+    parser.add_argument("--seed", type=int, default=20130421, help="generator seed")
+    parser.add_argument(
+        "--chunk-entries", type=int, default=1 << 17,
+        help="streaming chunk size for generation (reader uses its default)",
+    )
+    parser.add_argument(
+        "--budget-mb", type=float, required=True,
+        help="hard ceiling on the tracemalloc peak of ingest + solve, in MB",
+    )
+    parser.add_argument(
+        "--mtx", type=Path, default=None,
+        help="reuse an existing .mtx/.mtx.gz instead of generating one",
+    )
+    parser.add_argument(
+        "--directory", type=Path, default=None,
+        help="where to write the generated file (default: a temp dir)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    from repro import cli
+    from repro.sharded import stream_random_bipartite_mtx
+
+    if args.mtx is not None:
+        path = args.mtx
+        print(f"shard-smoke: reusing {path}", flush=True)
+    else:
+        directory = args.directory or Path(tempfile.mkdtemp(prefix="shard-smoke-"))
+        directory.mkdir(parents=True, exist_ok=True)
+        path = stream_random_bipartite_mtx(
+            directory / f"smoke-{args.entries}.mtx.gz",
+            args.rows,
+            args.cols,
+            args.entries,
+            seed=args.seed,
+            chunk_entries=args.chunk_entries,
+        )
+        print(
+            f"shard-smoke: wrote {path} ({path.stat().st_size / 1e6:.1f} MB on disk)",
+            flush=True,
+        )
+
+    # The generation above allocates its own chunk buffers; trace only the
+    # part under test — the CLI's out-of-core ingest + sharded solve.
+    tracemalloc.start()
+    rc = cli.main(
+        [
+            "run",
+            "--mtx", str(path),
+            "--algorithm", args.algorithm,
+            "--shards", str(args.shards),
+            "--partition", args.partition,
+        ]
+    )
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    peak_mb = peak / 1e6
+    budget = float(args.budget_mb)
+    verdict = {
+        "entries": args.entries,
+        "shards": args.shards,
+        "partition": args.partition,
+        "peak_mb": round(peak_mb, 1),
+        "budget_mb": budget,
+        "run_exit_code": rc,
+        "ok": rc == 0 and peak_mb <= budget,
+    }
+    print(f"shard-smoke: {json.dumps(verdict)}", flush=True)
+    if rc != 0:
+        print(f"shard-smoke: FAIL — repro run exited {rc}", file=sys.stderr)
+        return rc
+    if peak_mb > budget:
+        print(
+            f"shard-smoke: FAIL — traced peak {peak_mb:.1f} MB exceeds the "
+            f"{budget:.0f} MB budget: peak memory is scaling with total "
+            f"edges, not shard size",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"shard-smoke: OK — peak {peak_mb:.1f} MB within {budget:.0f} MB",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -193,10 +193,13 @@ class SuiteRunner:
         handles = {}
         for name, algo in self.algorithms.items():
             if isinstance(algo, ExecutionPlan):
+                # Sharded plans refuse warm starts (every shard begins from
+                # its own local solve), so they run cold instead.
+                warm = initial.copy() if algo.shards is None else None
                 handles[name] = self._engine.submit(
                     MatchingJob(graph=graph, algorithm=algo.algorithm, job_id=name),
                     plan=algo,
-                    initial_matching=initial.copy(),
+                    initial_matching=warm,
                 )
         runs: dict[str, AlgorithmRun] = {}
         maximum = 0

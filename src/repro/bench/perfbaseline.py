@@ -93,8 +93,11 @@ DEFAULT_MODELED_TOLERANCE = 1.05
 CROSS_PROFILE_SLACK = 3.0
 
 
-def _perf_plans():
-    return {name: resolve_algorithm(registry) for name, registry in PERF_ALGORITHMS.items()}
+def _perf_plans(shards: int | None = None, partition: str | None = None):
+    return {
+        name: resolve_algorithm(registry, shards=shards, partition=partition)
+        for name, registry in PERF_ALGORITHMS.items()
+    }
 
 
 def _warmup() -> None:
@@ -116,6 +119,8 @@ def capture(
     seed: int = 20130421,
     instances: list[str] | None = None,
     repeats: int = 1,
+    shards: int | None = None,
+    partition: str | None = None,
 ) -> dict:
     """Measure the tracked CPU baselines over the suite; returns a schema doc.
 
@@ -131,6 +136,11 @@ def capture(
         Wall-clock seconds keep the *minimum* over this many suite runs
         (modeled seconds and cardinalities are deterministic and asserted
         stable across repeats).
+    shards / partition:
+        When ``shards`` is set, every baseline runs through the sharded
+        subsystem (per-shard solves + reconciliation) instead of a
+        single-graph solve; the capture records the setting so a sharded
+        capture is never silently compared against an unsharded one by eye.
 
     Raises
     ------
@@ -145,7 +155,10 @@ def capture(
     best: dict[str, dict] = {}
     for _ in range(repeats):
         runner = SuiteRunner(
-            profile=profile, seed=seed, algorithms=_perf_plans(), instances=instances
+            profile=profile,
+            seed=seed,
+            algorithms=_perf_plans(shards, partition),
+            instances=instances,
         )
         try:
             results = runner.run()
@@ -186,7 +199,7 @@ def capture(
             "geomean_modeled_seconds": geometric_mean(modeled),
             "total_wall_seconds": float(sum(walls)),
         }
-    return {
+    doc = {
         "schema": SCHEMA_VERSION,
         "profile": profile,
         "seed": seed,
@@ -195,6 +208,10 @@ def capture(
         "aggregate": aggregate,
         "instances": best,
     }
+    if shards is not None:
+        doc["shards"] = int(shards)
+        doc["partition"] = partition or "contiguous"
+    return doc
 
 
 def save_baseline(path: str | Path, doc: dict) -> None:

@@ -70,14 +70,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # traceback, not masquerade as the exit-2 bad-input contract.
     try:
         weights_kind = parse_weight_spec(args.weights)[0] if args.weights else None
-        if args.mtx:
+        if args.shards is not None and args.weights is not None:
+            raise ValueError(
+                "sharded matching is cardinality-only; drop --weights or --shards"
+            )
+        kwargs = {"objective": args.objective} if args.objective else {}
+        plan = resolve_algorithm(
+            args.algorithm, shards=args.shards, partition=args.partition, **kwargs
+        )
+        if args.mtx and args.shards is not None:
+            # Out-of-core path: the file streams straight into disk-backed
+            # shards, so peak memory follows the largest shard, not the file.
+            from repro.sharded import ingest_matrix_market_sharded
+
+            graph = ingest_matrix_market_sharded(
+                args.mtx, args.shards, plan.partition_method
+            )
+        elif args.mtx:
             graph = read_matrix_market(args.mtx, with_weights=weights_kind == "values")
         else:
             graph = generate_instance(args.graph, profile=args.profile, seed=args.seed)
         if args.weights is not None:
             graph = apply_weight_spec(graph, args.weights, seed=args.seed)
-        kwargs = {"objective": args.objective} if args.objective else {}
-        plan = resolve_algorithm(args.algorithm, **kwargs)
     except (KeyError, TypeError, ValueError, OSError) as exc:
         # KeyError covers an unknown suite instance from generate_instance.
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
@@ -97,6 +111,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if "total_weight" in result.counters:
         payload["total_weight"] = result.counters["total_weight"]
         payload["objective"] = result.counters["objective"]
+    if args.shards is not None:
+        payload["shards"] = result.counters["shards"]
+        payload["partition"] = plan.partition_method
+        payload["shard_counters"] = {
+            key: result.counters[key]
+            for key in (
+                "shard_jobs",
+                "shard_edges_max",
+                "boundary_rows",
+                "merge_conflicts",
+                "reconcile_phases",
+                "reconcile_augmentations",
+                "frontier_handoffs",
+            )
+        }
     print(json.dumps(payload, indent=2))
     return 0
 
@@ -107,13 +136,18 @@ def _load_manifest(
     default_seed: int,
     default_weights: str | None = None,
     default_objective: str | None = None,
+    default_shards: int | None = None,
+    default_partition: str | None = None,
 ) -> list[MatchingJob]:
     """Parse a JSONL job manifest into :class:`MatchingJob` objects.
 
     Each line is an object with a ``graph`` (suite instance name or id) or
     ``mtx`` (Matrix-Market path), plus optional ``algorithm``, ``kwargs``,
-    ``initial``, ``profile``, ``seed``, ``weights``, ``objective`` and
-    ``id`` fields.  ``weights`` is a weight-spec string (see
+    ``initial``, ``profile``, ``seed``, ``weights``, ``objective``,
+    ``shards``, ``partition`` and ``id`` fields.  ``shards`` / ``partition``
+    fold into the job's kwargs exactly like ``objective`` does (the
+    CLI-level defaults only apply to algorithms that can run sharded, so a
+    mixed manifest stays valid).  ``weights`` is a weight-spec string (see
     :func:`repro.generators.weights.apply_weight_spec`; ``"values"`` reads a
     Matrix-Market file's value entries) and ``objective`` is folded into the
     job's kwargs for the weighted algorithms.  Every line is parsed and
@@ -196,6 +230,26 @@ def _load_manifest(
                     f"{path}:{lineno}: 'objective' conflicts with kwargs['objective']"
                 )
             kwargs["objective"] = objective
+        # The --shards/--partition defaults only reach algorithms that can
+        # run sharded (maximum-cardinality, non-weighted); explicit per-line
+        # fields are honoured — and validated — for every algorithm.
+        sharded_default_applies = (
+            spec_entry is not None and spec_entry.maximum and not spec_entry.weighted
+        )
+        for field_name, default in (
+            ("shards", default_shards),
+            ("partition", default_partition),
+        ):
+            value = entry.get(
+                field_name, default if sharded_default_applies else None
+            )
+            if value is not None:
+                if field_name in kwargs and kwargs[field_name] != value:
+                    raise ValueError(
+                        f"{path}:{lineno}: {field_name!r} conflicts with "
+                        f"kwargs[{field_name!r}]"
+                    )
+                kwargs[field_name] = value
         # Resolve the algorithm now (cheap) so a typo'd name, knob or
         # warm-start on any line is caught before phase 2 generates a graph.
         try:
@@ -293,7 +347,8 @@ def _summary_row(report, args: argparse.Namespace, backend: str) -> dict:
 def _cmd_batch(args: argparse.Namespace) -> int:
     try:
         jobs = _load_manifest(
-            args.manifest, args.profile, args.seed, args.weights, args.objective
+            args.manifest, args.profile, args.seed, args.weights, args.objective,
+            args.shards, args.partition,
         )
     except (TypeError, ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -463,6 +518,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             seed=args.seed,
             instances=args.instances or None,
             repeats=args.repeats,
+            shards=args.shards,
+            partition=args.partition,
         )
     except (KeyError, ValueError, OSError) as exc:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
@@ -656,6 +713,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "rank[:NOISE], or values (use the .mtx value entries)")
     run.add_argument("--objective", default=None, choices=("max", "min"),
                      help="weighted objective (weighted-sap / weighted-auction only)")
+    run.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="solve through the sharded subsystem with N column-block "
+                          "shards; with --mtx the file streams out-of-core into "
+                          "disk-backed shards")
+    run.add_argument("--partition", default=None, choices=("contiguous", "degree"),
+                     help="shard splitter placement (default: contiguous)")
     run.add_argument("--profile", default="small")
     run.add_argument("--seed", type=int, default=20130421)
     run.set_defaults(func=_cmd_run)
@@ -679,6 +742,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default edge-weight spec for jobs without a 'weights' field")
     batch.add_argument("--objective", default=None, choices=("max", "min"),
                        help="default weighted objective for jobs without an 'objective' field")
+    batch.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="default shard count for jobs without a 'shards' field "
+                            "(applies to maximum-cardinality algorithms only)")
+    batch.add_argument("--partition", default=None, choices=("contiguous", "degree"),
+                       help="default shard splitter for jobs without a 'partition' field")
     batch.add_argument("--seed", type=int, default=20130421)
     batch.set_defaults(func=_cmd_batch)
 
@@ -722,6 +790,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict to these suite instances")
     perf.add_argument("--repeats", type=int, default=1,
                       help="suite passes; wall times keep the per-entry minimum")
+    perf.add_argument("--shards", type=int, default=None, metavar="N",
+                      help="measure the baselines through the sharded subsystem "
+                           "with N shards instead of single-graph solves")
+    perf.add_argument("--partition", default=None, choices=("contiguous", "degree"),
+                      help="shard splitter for --shards (default: contiguous)")
     perf.add_argument("--compare", default=None, metavar="PATH",
                       help="compare against this baseline; exit 1 on regressions")
     perf.add_argument("--update", default=None, metavar="PATH",

@@ -130,6 +130,11 @@ class ExecutionPlan:
     config: Any | None = None
     device_factory: Callable[[], VirtualGPU] | None = None
     extra: tuple[tuple[str, Any], ...] = ()
+    #: When set, :meth:`run` partitions the graph into this many column-block
+    #: shards and solves through :class:`repro.sharded.ShardedMatcher`
+    #: (per-shard jobs + boundary reconciliation) instead of one kernel call.
+    shards: int | None = None
+    partition_method: str | None = None
 
     @property
     def deterministic(self) -> bool:
@@ -143,6 +148,8 @@ class ExecutionPlan:
 
     def run(self, graph: BipartiteGraph, initial: Matching | None = None) -> MatchingResult:
         """Execute the plan on ``graph``, optionally from a warm-start matching."""
+        if self.shards is not None:
+            return self._run_sharded(graph, initial)
         if initial is not None and not self.spec.accepts_initial:
             raise TypeError(
                 f"algorithm {self.algorithm!r} produces an initial matching; "
@@ -154,6 +161,26 @@ class ExecutionPlan:
         if self.spec.accepts_device and self.device_factory is not None:
             device = self.device_factory()
         return self.spec.runner(graph, initial, self.config, device, **dict(self.extra))
+
+    def _run_sharded(self, graph, initial):
+        # Imported lazily: repro.sharded pulls in the engine, which resolves
+        # plans through this module.
+        from repro.sharded.matcher import ShardedMatcher
+        from repro.sharded.partition import ShardedBipartiteGraph, partition_graph
+
+        if initial is not None:
+            raise TypeError(
+                f"sharded execution of {self.algorithm!r} does not accept a warm-start"
+            )
+        if isinstance(graph, ShardedBipartiteGraph):
+            sharded = graph
+        else:
+            sharded = partition_graph(graph, self.shards, self.partition_method)
+        inner = dataclasses.replace(self, shards=None, partition_method=None)
+        matcher = ShardedMatcher(
+            sharded, self.algorithm, plan=inner, kwargs=dict(self.extra)
+        )
+        return matcher.run()
 
 
 # ------------------------------------------------------------------- runners
@@ -282,6 +309,8 @@ def resolve_algorithm(
     config: Any | None = None,
     device: VirtualGPU | None = None,
     device_factory: Callable[[], VirtualGPU] | None = None,
+    shards: int | None = None,
+    partition: str | None = None,
     **kwargs,
 ) -> ExecutionPlan:
     """Resolve an algorithm name and keyword arguments into an :class:`ExecutionPlan`.
@@ -297,6 +326,14 @@ def resolve_algorithm(
         For GPU algorithms: a virtual device to reuse, or a factory invoked
         once per :meth:`ExecutionPlan.run` (so every run gets a fresh
         cost-model ledger).  Mutually exclusive.
+    shards / partition:
+        When ``shards`` is given, :meth:`ExecutionPlan.run` executes through
+        the :mod:`repro.sharded` subsystem: the graph is column-block
+        partitioned into ``shards`` shards (``partition`` is one of
+        :data:`repro.sharded.PARTITION_METHODS`; default ``"contiguous"``),
+        each shard is solved with this algorithm, and boundary
+        reconciliation restores global maximality.  Requires a
+        maximum-cardinality, non-weighted algorithm.
     **kwargs:
         Config fields (e.g. ``strategy="fix:10"``, ``global_relabel_k=0.7``,
         ``n_threads=4``) or the algorithm's extra parameters (e.g.
@@ -306,11 +343,14 @@ def resolve_algorithm(
     Raises
     ------
     ValueError
-        Unknown algorithm name.
+        Unknown algorithm name, ``shards < 1``, or an unknown partition
+        method.
     TypeError
         Unknown keyword arguments, a ``config`` of the wrong type, a
-        ``config`` combined with config-field keywords, or a ``device`` for
-        an algorithm that does not accept one.
+        ``config`` combined with config-field keywords, a ``device`` for
+        an algorithm that does not accept one, ``partition=`` without
+        ``shards=``, or ``shards=`` with an algorithm that cannot run
+        sharded.
     """
     key = str(name).strip().lower()
     if key not in SPECS:
@@ -320,6 +360,27 @@ def resolve_algorithm(
             f"unknown algorithm {name!r}{hint}; available: {', '.join(sorted(SPECS))}"
         )
     spec = SPECS[key]
+
+    partition_method: str | None = None
+    if shards is not None:
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if not spec.maximum or spec.weighted:
+            raise TypeError(
+                f"algorithm {key!r} cannot run sharded: sharded matching "
+                "needs a maximum-cardinality, cardinality-only algorithm"
+            )
+        from repro.sharded.partition import PARTITION_METHODS
+
+        partition_method = "contiguous" if partition is None else str(partition).lower()
+        if partition_method not in PARTITION_METHODS:
+            raise ValueError(
+                f"unknown partition method {partition!r}; "
+                f"available: {', '.join(PARTITION_METHODS)}"
+            )
+    elif partition is not None:
+        raise TypeError("partition= requires shards=")
 
     if device is not None and device_factory is not None:
         raise TypeError("pass either device= or device_factory=, not both")
@@ -374,6 +435,8 @@ def resolve_algorithm(
         config=config,
         device_factory=device_factory,
         extra=tuple(sorted(extra_kwargs.items())),
+        shards=shards,
+        partition_method=partition_method,
     )
 
 

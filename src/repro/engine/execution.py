@@ -37,6 +37,11 @@ def check_warm_start(plan: ExecutionPlan, initial: str | None) -> None:
             f"algorithm {plan.algorithm!r} produces an initial matching; "
             f"it does not accept the {initial!r} warm-start"
         )
+    if initial is not None and plan.shards is not None:
+        raise TypeError(
+            f"sharded execution of {plan.algorithm!r} does not accept "
+            f"the {initial!r} warm-start (shards start from their own local solves)"
+        )
 
 
 def validate_job_args(algorithm: str, kwargs=None, initial: str | None = None) -> ExecutionPlan:

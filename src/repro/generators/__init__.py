@@ -30,6 +30,7 @@ from repro.generators.suite import (
     generate_instance,
     generate_suite,
     instance_names,
+    materialize_instance,
 )
 from repro.generators.trace import bubbles_graph, trace_graph
 from repro.generators.updates import random_update_trace, suite_update_workload
@@ -63,4 +64,5 @@ __all__ = [
     "generate_suite",
     "generate_instance",
     "instance_names",
+    "materialize_instance",
 ]

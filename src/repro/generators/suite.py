@@ -18,6 +18,7 @@ behaviour.  ``SCALE_PROFILES`` defines the base size; instance ``i`` gets
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterator
 
 import numpy as np
@@ -41,6 +42,7 @@ __all__ = [
     "generate_instance",
     "generate_suite",
     "instance_names",
+    "materialize_instance",
 ]
 
 
@@ -256,6 +258,59 @@ def generate_instance(
     base = int(round(SCALE_PROFILES[profile] * scale))
     n_target = _target_rows(spec, base)
     return spec.generate(n_target, seed=seed + 1000 * spec.instance_id)
+
+
+def materialize_instance(
+    name_or_id: str | int,
+    profile: str = "large",
+    seed: int = 20130421,
+    *,
+    directory: str | Path = ".",
+    scale: float = 1.0,
+    gz: bool = True,
+    overwrite: bool = False,
+) -> Path:
+    """Generate a suite instance and write it to disk as Matrix-Market.
+
+    The ``large`` profile (and beyond, via ``scale``) produces graphs meant
+    to be solved *out of core* through :mod:`repro.sharded` — materializing
+    them once and streaming them back beats regenerating them in RAM for
+    every run.  The file is written in bounded column-block chunks through
+    :class:`~repro.graph.io.MatrixMarketStreamWriter`, and an existing file
+    is reused unless ``overwrite`` is set (the generators are deterministic,
+    so name + profile + seed identifies the content).
+
+    Returns the path ``<directory>/<name>_<profile>_<seed>.mtx[.gz]``.
+    """
+    from repro.graph.io import MatrixMarketStreamWriter
+
+    spec = _lookup(name_or_id)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = ".mtx.gz" if gz else ".mtx"
+    path = directory / f"{spec.name}_{profile}_{seed}{suffix}"
+    if path.exists() and not overwrite:
+        return path
+    graph = generate_instance(name_or_id, profile=profile, seed=seed, scale=scale)
+    col_ptr = graph.col_ptr
+    col_ind = graph.col_ind
+    block = 1 << 16
+    with MatrixMarketStreamWriter(
+        path,
+        n_rows=graph.n_rows,
+        n_cols=graph.n_cols,
+        n_entries=graph.n_edges,
+        comment=f"suite instance {spec.name} profile={profile} seed={seed}",
+    ) as writer:
+        for lo in range(0, graph.n_cols, block):
+            hi = min(lo + block, graph.n_cols)
+            start, stop = int(col_ptr[lo]), int(col_ptr[hi])
+            rows = col_ind[start:stop]
+            cols = np.repeat(
+                np.arange(lo, hi, dtype=np.int64), np.diff(col_ptr[lo : hi + 1])
+            )
+            writer.write_chunk(rows, cols)
+    return path
 
 
 def generate_suite(

@@ -16,6 +16,11 @@ Public classes / functions
 :func:`read_matrix_market`, :func:`write_matrix_market`
     Matrix-Market I/O (the format of the UFL / SuiteSparse collection used in
     the paper's evaluation).
+:class:`MatrixMarketStream`, :class:`MatrixMarketStreamWriter`,
+:func:`chunked_content_hash`
+    Streaming Matrix-Market I/O and incremental content hashing — the
+    bounded-memory substrate of the out-of-core ingest
+    (:mod:`repro.sharded`).
 :func:`degree_statistics`, :func:`structure_summary`
     Descriptive statistics used by the benchmark reports.
 :func:`validate_graph`
@@ -46,7 +51,16 @@ from repro.graph.builders import (
     from_networkx,
     from_scipy_sparse,
 )
-from repro.graph.io import read_matrix_market, write_matrix_market
+from repro.graph.io import (
+    ChunkedContentHasher,
+    MatrixMarketHeader,
+    MatrixMarketStream,
+    MatrixMarketStreamWriter,
+    chunked_content_hash,
+    read_matrix_market,
+    read_matrix_market_header,
+    write_matrix_market,
+)
 from repro.graph.stats import GraphSummary, degree_statistics, structure_summary
 from repro.graph.validate import GraphValidationError, validate_graph
 
@@ -68,7 +82,13 @@ __all__ = [
     "from_networkx",
     "from_biadjacency",
     "read_matrix_market",
+    "read_matrix_market_header",
     "write_matrix_market",
+    "MatrixMarketHeader",
+    "MatrixMarketStream",
+    "MatrixMarketStreamWriter",
+    "ChunkedContentHasher",
+    "chunked_content_hash",
     "degree_statistics",
     "structure_summary",
     "GraphSummary",

@@ -1,4 +1,4 @@
-"""Matrix-Market I/O.
+"""Matrix-Market I/O: in-memory readers plus the streaming/out-of-core layer.
 
 The paper's evaluation uses 28 matrices from the University of Florida (UFL,
 now SuiteSparse) sparse matrix collection, which ships Matrix-Market files.
@@ -6,23 +6,53 @@ This module reads/writes the ``coordinate`` Matrix-Market format directly
 (pattern, real, integer and complex fields; general and symmetric
 symmetries), so a user who *does* have the original instances can feed them
 to the library unchanged.
+
+Two access styles share one parser:
+
+* :func:`read_matrix_market` materializes a full :class:`BipartiteGraph` —
+  the right call for anything that fits in memory.
+* :class:`MatrixMarketStream` yields ``(rows, cols, values)`` entry chunks
+  (symmetry already expanded, indices 0-based) without ever holding the full
+  edge list, which is what the sharded ingest (:mod:`repro.sharded.ingest`)
+  builds on for 10^8-edge files.  :class:`MatrixMarketStreamWriter` is the
+  matching chunked writer.  Both count *logical* lines — a ``.mtx.gz`` error
+  names the same ``file:line`` as the uncompressed file would.
+
+:class:`ChunkedContentHasher` computes ``BipartiteGraph.content_hash()``
+incrementally from CSR chunks, so out-of-core pipelines get the exact cache
+identity of the in-memory graph without materializing it.
 """
 
 from __future__ import annotations
 
 import gzip
+import hashlib
+from dataclasses import dataclass
 from pathlib import Path
-from typing import TextIO
+from typing import Iterable, Iterator, TextIO
 
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.builders import from_edges
 
-__all__ = ["read_matrix_market", "write_matrix_market"]
+__all__ = [
+    "ChunkedContentHasher",
+    "MatrixMarketHeader",
+    "MatrixMarketStream",
+    "MatrixMarketStreamWriter",
+    "chunked_content_hash",
+    "read_matrix_market",
+    "read_matrix_market_header",
+    "write_matrix_market",
+]
 
 _SUPPORTED_FIELDS = {"real", "integer", "pattern", "complex"}
 _SUPPORTED_SYMMETRIES = {"general", "symmetric", "skew-symmetric", "hermitian"}
+
+#: Entries parsed per chunk by :class:`MatrixMarketStream`; bounds the
+#: reader's working set at a few MiB regardless of file size.
+DEFAULT_CHUNK_ENTRIES = 1 << 17
 
 
 def _open_text(path: str | Path, mode: str = "rt") -> TextIO:
@@ -36,6 +66,276 @@ def _open_text(path: str | Path, mode: str = "rt") -> TextIO:
     if path.suffix == ".gz":
         return gzip.open(path, mode)
     return open(path, mode)
+
+
+@dataclass(frozen=True)
+class MatrixMarketHeader:
+    """Parsed banner + size line of a Matrix-Market coordinate file."""
+
+    path: str
+    n_rows: int
+    n_cols: int
+    n_entries: int
+    field: str
+    symmetry: str
+
+    @property
+    def symmetric(self) -> bool:
+        return self.symmetry != "general"
+
+
+class MatrixMarketStream:
+    """Streaming Matrix-Market reader with a bounded working set.
+
+    Parses the banner and size line eagerly (available as :attr:`header`),
+    then iterates ``(rows, cols, values)`` chunks of at most
+    ``chunk_entries`` declared entries each: ``int64`` 0-based index arrays
+    plus a ``float64`` value array (``None`` unless ``with_values=True``).
+    Symmetric / skew-symmetric / hermitian mirrors are appended chunk-local,
+    so consumers see the final expanded edge stream.
+
+    Line numbers in error messages are *logical* line numbers counted by the
+    parser itself — identical for ``.mtx`` and ``.mtx.gz`` inputs (the gzip
+    layer never leaks decompressed byte offsets into diagnostics).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        with_values: bool = False,
+        chunk_entries: int = DEFAULT_CHUNK_ENTRIES,
+    ) -> None:
+        if chunk_entries < 1:
+            raise ValueError(f"chunk_entries must be >= 1, got {chunk_entries}")
+        self._path = Path(path)
+        self._with_values = with_values
+        self._chunk_entries = int(chunk_entries)
+        self._handle: TextIO | None = _open_text(self._path)
+        self._lineno = 0
+        self._iterated = False
+        try:
+            self.header = self._parse_header()
+        except Exception:
+            self.close()
+            raise
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "MatrixMarketStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- header ------------------------------------------------------------
+    def _parse_header(self) -> MatrixMarketHeader:
+        path, handle = self._path, self._handle
+        header = handle.readline()
+        self._lineno = 1
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: not a Matrix-Market file (bad header {header!r})")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise ValueError(f"{path}: malformed Matrix-Market header {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise ValueError(
+                f"{path}: only 'matrix coordinate' files are supported, got {obj} {fmt}"
+            )
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in _SUPPORTED_FIELDS:
+            raise ValueError(f"{path}: unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRIES:
+            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+        if self._with_values and field not in ("real", "integer"):
+            raise ValueError(
+                f"{path}: with_weights=True needs a 'real' or 'integer' field "
+                f"(value entries), got {field!r}"
+            )
+
+        # Skip comments, read the size line.
+        line = handle.readline()
+        self._lineno += 1
+        while line.startswith("%"):
+            line = handle.readline()
+            self._lineno += 1
+        if not line:
+            raise ValueError(f"{path}: missing size line")
+        sizes = line.split()
+        if len(sizes) != 3:
+            raise ValueError(f"{path}: malformed size line {line!r}")
+        n_rows, n_cols, n_entries = (int(s) for s in sizes)
+        return MatrixMarketHeader(
+            path=str(path),
+            n_rows=n_rows,
+            n_cols=n_cols,
+            n_entries=n_entries,
+            field=field,
+            symmetry=symmetry,
+        )
+
+    # -- entry chunks ------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray | None]]:
+        if self._handle is None:
+            raise ValueError(f"{self._path}: stream is closed")
+        if self._iterated:
+            raise ValueError(f"{self._path}: stream already consumed (single pass)")
+        self._iterated = True
+        path = self._path
+        handle = self._handle
+        n_entries = self.header.n_entries
+        consumed = 0
+        while True:
+            # Read one more line than could legally remain so a surplus entry
+            # is diagnosed exactly like the eager reader did.
+            limit = min(self._chunk_entries, n_entries - consumed + 1)
+            lines: list[str] = []
+            linenos: list[int] = []
+            while len(lines) < limit:
+                raw = handle.readline()
+                if not raw:
+                    break
+                self._lineno += 1
+                stripped = raw.strip()
+                if not stripped or stripped.startswith("%"):
+                    continue
+                lines.append(stripped)
+                linenos.append(self._lineno)
+            if not lines:
+                break
+            remaining = n_entries - consumed
+            if len(lines) > remaining:
+                # Diagnose the legal prefix first: a malformed in-range entry
+                # outranks the surplus, exactly like the per-line reader.
+                if remaining:
+                    self._parse_chunk(lines[:remaining], linenos[:remaining])
+                raise ValueError(f"{path}: more entries than declared ({n_entries})")
+            rows, cols, values = self._parse_chunk(lines, linenos)
+            consumed += len(lines)
+            yield self._expand(rows, cols, values)
+        if consumed != n_entries:
+            raise ValueError(f"{path}: expected {n_entries} entries, found {consumed}")
+
+    def _parse_chunk(self, lines: list[str], linenos: list[int]):
+        """Vectorized token parse; falls back to a per-line scan on anomalies.
+
+        The fast path only applies when every line has a uniform token count
+        and all tokens convert cleanly; anything irregular is re-parsed line
+        by line so the error message names the exact offending line.
+        """
+        n = len(lines)
+        tokens = np.array(" ".join(lines).split())
+        rows = cols = values = None
+        try:
+            if tokens.size == 2 * n and not self._with_values:
+                pairs = tokens.reshape(n, 2).astype(np.int64)
+                rows, cols = pairs[:, 0], pairs[:, 1]
+            elif tokens.size == 3 * n:
+                triples = tokens.reshape(n, 3)
+                pairs = triples[:, :2].astype(np.int64)
+                rows, cols = pairs[:, 0], pairs[:, 1]
+                if self._with_values:
+                    values = triples[:, 2].astype(np.float64)
+        except ValueError:
+            rows = None
+        if rows is None:
+            return self._parse_chunk_slow(lines, linenos)
+        self._check_ranges(rows, cols, lines, linenos)
+        return rows, cols, values
+
+    def _parse_chunk_slow(self, lines: list[str], linenos: list[int]):
+        path = self._path
+        header = self.header
+        n = len(lines)
+        rows = np.empty(n, dtype=np.int64)
+        cols = np.empty(n, dtype=np.int64)
+        values = np.empty(n, dtype=np.float64) if self._with_values else None
+        for k, (line, lineno) in enumerate(zip(lines, linenos)):
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed entry line {line!r} "
+                    "(expected at least 'row col')"
+                )
+            try:
+                i, j = int(tokens[0]), int(tokens[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer indices in entry line {line!r}"
+                ) from None
+            if values is not None:
+                if len(tokens) < 3:
+                    raise ValueError(
+                        f"{path}:{lineno}: entry line {line!r} has no value "
+                        "(expected 'row col value')"
+                    )
+                try:
+                    values[k] = float(tokens[2])
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{lineno}: non-numeric value in entry line {line!r}"
+                    ) from None
+            if not 1 <= i <= header.n_rows:
+                raise ValueError(
+                    f"{path}:{lineno}: row index {i} outside the declared size "
+                    f"{header.n_rows} in entry line {line!r}"
+                )
+            if not 1 <= j <= header.n_cols:
+                raise ValueError(
+                    f"{path}:{lineno}: column index {j} outside the declared size "
+                    f"{header.n_cols} in entry line {line!r}"
+                )
+            rows[k] = i
+            cols[k] = j
+        return rows, cols, values
+
+    def _check_ranges(self, rows, cols, lines, linenos) -> None:
+        header = self.header
+        bad_row = (rows < 1) | (rows > header.n_rows)
+        bad_col = (cols < 1) | (cols > header.n_cols)
+        bad = bad_row | bad_col
+        if bad.any():
+            k = int(np.argmax(bad))
+            path, lineno, line = self._path, linenos[k], lines[k]
+            if bad_row[k]:
+                raise ValueError(
+                    f"{path}:{lineno}: row index {int(rows[k])} outside the declared "
+                    f"size {header.n_rows} in entry line {line!r}"
+                )
+            raise ValueError(
+                f"{path}:{lineno}: column index {int(cols[k])} outside the declared "
+                f"size {header.n_cols} in entry line {line!r}"
+            )
+
+    def _expand(self, rows, cols, values):
+        """Convert to 0-based and append symmetry mirrors, chunk-local."""
+        rows = rows - 1
+        cols = cols - 1
+        if self.header.symmetry == "general":
+            return rows, cols, values
+        off_diag = rows != cols
+        mirror_rows = cols[off_diag]
+        mirror_cols = rows[off_diag]
+        out_rows = np.concatenate([rows, mirror_rows])
+        out_cols = np.concatenate([cols, mirror_cols])
+        if values is not None:
+            mirrored = values[off_diag]
+            if self.header.symmetry == "skew-symmetric":
+                mirrored = -mirrored  # A[j,i] = -A[i,j]
+            values = np.concatenate([values, mirrored])
+        return out_rows, out_cols, values
+
+
+def read_matrix_market_header(path: str | Path) -> MatrixMarketHeader:
+    """Parse just the banner and size line (no entries are read)."""
+    with MatrixMarketStream(path) as stream:
+        return stream.header
 
 
 def read_matrix_market(
@@ -72,106 +372,27 @@ def read_matrix_market(
     """
     path = Path(path)
     graph_name = name if name is not None else path.name.removesuffix(".gz").removesuffix(".mtx")
-    with _open_text(path) as handle:
-        header = handle.readline()
-        lineno = 1
-        if not header.startswith("%%MatrixMarket"):
-            raise ValueError(f"{path}: not a Matrix-Market file (bad header {header!r})")
-        parts = header.strip().split()
-        if len(parts) < 5:
-            raise ValueError(f"{path}: malformed Matrix-Market header {header!r}")
-        _, obj, fmt, field, symmetry = parts[:5]
-        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
-            raise ValueError(
-                f"{path}: only 'matrix coordinate' files are supported, got {obj} {fmt}"
-            )
-        field = field.lower()
-        symmetry = symmetry.lower()
-        if field not in _SUPPORTED_FIELDS:
-            raise ValueError(f"{path}: unsupported field {field!r}")
-        if symmetry not in _SUPPORTED_SYMMETRIES:
-            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
-        if with_weights and field not in ("real", "integer"):
-            raise ValueError(
-                f"{path}: with_weights=True needs a 'real' or 'integer' field "
-                f"(value entries), got {field!r}"
-            )
-
-        # Skip comments, read the size line.
-        line = handle.readline()
-        lineno += 1
-        while line.startswith("%"):
-            line = handle.readline()
-            lineno += 1
-        if not line:
-            raise ValueError(f"{path}: missing size line")
-        sizes = line.split()
-        if len(sizes) != 3:
-            raise ValueError(f"{path}: malformed size line {line!r}")
-        n_rows, n_cols, n_entries = (int(s) for s in sizes)
-
-        rows = np.empty(n_entries, dtype=np.int64)
-        cols = np.empty(n_entries, dtype=np.int64)
-        values = np.empty(n_entries, dtype=np.float64) if with_weights else None
-        count = 0
-        for line in handle:
-            lineno += 1
-            line = line.strip()
-            if not line or line.startswith("%"):
-                continue
-            tokens = line.split()
-            if count >= n_entries:
-                raise ValueError(f"{path}: more entries than declared ({n_entries})")
-            if len(tokens) < 2:
-                raise ValueError(
-                    f"{path}:{lineno}: malformed entry line {line!r} "
-                    "(expected at least 'row col')"
-                )
-            try:
-                i, j = int(tokens[0]), int(tokens[1])
-            except ValueError:
-                raise ValueError(
-                    f"{path}:{lineno}: non-integer indices in entry line {line!r}"
-                ) from None
-            if with_weights:
-                if len(tokens) < 3:
-                    raise ValueError(
-                        f"{path}:{lineno}: entry line {line!r} has no value "
-                        "(expected 'row col value')"
-                    )
-                try:
-                    values[count] = float(tokens[2])
-                except ValueError:
-                    raise ValueError(
-                        f"{path}:{lineno}: non-numeric value in entry line {line!r}"
-                    ) from None
-            if not 1 <= i <= n_rows:
-                raise ValueError(
-                    f"{path}:{lineno}: row index {i} outside the declared size "
-                    f"{n_rows} in entry line {line!r}"
-                )
-            if not 1 <= j <= n_cols:
-                raise ValueError(
-                    f"{path}:{lineno}: column index {j} outside the declared size "
-                    f"{n_cols} in entry line {line!r}"
-                )
-            rows[count] = i - 1
-            cols[count] = j - 1
-            count += 1
-        if count != n_entries:
-            raise ValueError(f"{path}: expected {n_entries} entries, found {count}")
-
-    if symmetry != "general":
-        off_diag = rows != cols
-        rows = np.concatenate([rows, cols[off_diag]])
-        cols = np.concatenate([cols, rows[: count][off_diag]])
-        if values is not None:
-            mirrored = values[off_diag]
-            if symmetry == "skew-symmetric":
-                mirrored = -mirrored  # A[j,i] = -A[i,j]
-            values = np.concatenate([values, mirrored])
-    edges = np.column_stack([rows, cols])
-    return from_edges(edges, n_rows=n_rows, n_cols=n_cols, name=graph_name, weights=values)
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    value_parts: list[np.ndarray] = []
+    with MatrixMarketStream(path, with_values=with_weights) as stream:
+        header = stream.header
+        for rows, cols, values in stream:
+            rows_parts.append(rows)
+            cols_parts.append(cols)
+            if values is not None:
+                value_parts.append(values)
+    if rows_parts:
+        all_rows = np.concatenate(rows_parts)
+        all_cols = np.concatenate(cols_parts)
+    else:
+        all_rows = np.empty(0, dtype=np.int64)
+        all_cols = np.empty(0, dtype=np.int64)
+    weights = np.concatenate(value_parts) if value_parts else None
+    edges = np.column_stack([all_rows, all_cols])
+    return from_edges(
+        edges, n_rows=header.n_rows, n_cols=header.n_cols, name=graph_name, weights=weights
+    )
 
 
 def write_matrix_market(graph: BipartiteGraph, path: str | Path) -> None:
@@ -184,16 +405,197 @@ def write_matrix_market(graph: BipartiteGraph, path: str | Path) -> None:
     A ``.gz`` suffix (e.g. ``matrix.mtx.gz``) writes gzip-compressed text,
     mirroring what :func:`read_matrix_market` accepts.
     """
-    path = Path(path)
-    edges = graph.edges()
     field = "real" if graph.has_weights else "pattern"
-    with _open_text(path, "wt") as handle:
-        handle.write(f"%%MatrixMarket matrix coordinate {field} general\n")
-        handle.write(f"% written by repro ({graph.name})\n")
-        handle.write(f"{graph.n_rows} {graph.n_cols} {graph.n_edges}\n")
-        if graph.has_weights:
-            for (u, v), w in zip(edges, graph.weights):
-                handle.write(f"{int(u) + 1} {int(v) + 1} {w:.17g}\n")
+    with MatrixMarketStreamWriter(
+        path,
+        n_rows=graph.n_rows,
+        n_cols=graph.n_cols,
+        n_entries=graph.n_edges,
+        field=field,
+        comment=f"written by repro ({graph.name})",
+    ) as writer:
+        edges = graph.edges()
+        if graph.n_edges:
+            writer.write_chunk(
+                edges[:, 0], edges[:, 1], graph.weights if graph.has_weights else None
+            )
+
+
+class MatrixMarketStreamWriter:
+    """Chunked Matrix-Market writer for instances too large to materialize.
+
+    Declares ``n_entries`` up front, accepts 0-based ``(rows, cols[, values])``
+    chunks, and verifies on :meth:`close` that exactly the declared number of
+    entries was written (skipped when closing on an in-flight exception, so
+    the original error propagates).  Used by the disk-materializing suite
+    profile and the scaling benchmarks to emit multi-gigabyte ``.mtx.gz``
+    files with a fixed-size working set.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        n_rows: int,
+        n_cols: int,
+        n_entries: int,
+        field: str = "pattern",
+        comment: str | None = None,
+    ) -> None:
+        if field not in ("pattern", "real"):
+            raise ValueError(f"unsupported writer field {field!r} (pattern or real)")
+        if min(n_rows, n_cols, n_entries) < 0:
+            raise ValueError("n_rows, n_cols and n_entries must be non-negative")
+        self._path = Path(path)
+        self._field = field
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.n_entries = int(n_entries)
+        self._written = 0
+        self._handle: TextIO | None = _open_text(self._path, "wt")
+        self._handle.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        if comment:
+            self._handle.write(f"% {comment}\n")
+        self._handle.write(f"{self.n_rows} {self.n_cols} {self.n_entries}\n")
+
+    def write_chunk(self, rows, cols, values=None) -> None:
+        if self._handle is None:
+            raise ValueError(f"{self._path}: writer is closed")
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ValueError("rows and cols must be 1-D arrays of equal length")
+        if rows.size and (
+            rows.min() < 0 or rows.max() >= self.n_rows
+            or cols.min() < 0 or cols.max() >= self.n_cols
+        ):
+            raise ValueError(
+                f"{self._path}: chunk indices outside the declared "
+                f"{self.n_rows}x{self.n_cols} shape"
+            )
+        if self._written + rows.size > self.n_entries:
+            raise ValueError(
+                f"{self._path}: more entries written than declared ({self.n_entries})"
+            )
+        if self._field == "real":
+            if values is None:
+                raise ValueError("a 'real' writer needs a values array per chunk")
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != rows.shape:
+                raise ValueError("values must match rows/cols in length")
+            lines = "\n".join(
+                f"{u} {v} {w:.17g}"
+                for u, v, w in zip((rows + 1).tolist(), (cols + 1).tolist(), values.tolist())
+            )
         else:
-            for u, v in edges:
-                handle.write(f"{int(u) + 1} {int(v) + 1}\n")
+            if values is not None:
+                raise ValueError("a 'pattern' writer takes no values")
+            lines = "\n".join(
+                f"{u} {v}" for u, v in zip((rows + 1).tolist(), (cols + 1).tolist())
+            )
+        if lines:
+            self._handle.write(lines)
+            self._handle.write("\n")
+        self._written += rows.size
+
+    def close(self, *, check: bool = True) -> None:
+        if self._handle is None:
+            return
+        self._handle.close()
+        self._handle = None
+        if check and self._written != self.n_entries:
+            raise ValueError(
+                f"{self._path}: declared {self.n_entries} entries but wrote {self._written}"
+            )
+
+    def __enter__(self) -> "MatrixMarketStreamWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On error, close without the count check so the original exception
+        # is the one that propagates.
+        self.close(check=exc_type is None)
+
+
+# ------------------------------------------------------------------ hashing
+class ChunkedContentHasher:
+    """Incremental :meth:`BipartiteGraph.content_hash` over CSR chunks.
+
+    Feed the same byte stream the in-memory hash consumes — ``col_ptr``,
+    ``col_ind``, ``row_ptr``, ``row_ind`` (each as one or many ``int64``
+    chunks, in order), then optionally ``weights`` (``float64`` chunks) —
+    and :meth:`hexdigest` equals ``graph.content_hash()`` of the assembled
+    graph.  Sections must be fed in that order; chunks within a section may
+    be arbitrarily split.  This is what lets the out-of-core ingest compute
+    the cache identity without a second full pass over the input file.
+    """
+
+    _SECTIONS = ("col_ptr", "col_ind", "row_ptr", "row_ind", "weights")
+
+    def __init__(self, n_rows: int, n_cols: int) -> None:
+        self._digest = hashlib.sha256()
+        self._digest.update(f"bipartite:{n_rows}:{n_cols}:".encode("ascii"))
+        self._section = 0
+        self._weights_marked = False
+
+    def update(self, section: str, chunk) -> None:
+        """Absorb one chunk of ``section`` (array-like of indices/weights)."""
+        try:
+            index = self._SECTIONS.index(section)
+        except ValueError:
+            raise ValueError(
+                f"unknown section {section!r} (expected one of {self._SECTIONS})"
+            ) from None
+        if index < self._section:
+            raise ValueError(
+                f"section {section!r} fed after {self._SECTIONS[self._section]!r}; "
+                "sections must arrive in CSR order"
+            )
+        self._section = index
+        if section == "weights":
+            if not self._weights_marked:
+                self._digest.update(b"weights:")
+                self._weights_marked = True
+            arr = np.ascontiguousarray(np.asarray(chunk, dtype=np.float64))
+        else:
+            arr = np.ascontiguousarray(np.asarray(chunk, dtype=np.int64))
+        self._digest.update(arr.tobytes())
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+def chunked_content_hash(
+    n_rows: int,
+    n_cols: int,
+    col_ptr: Iterable,
+    col_ind: Iterable,
+    row_ptr: Iterable,
+    row_ind: Iterable,
+    weights: Iterable | None = None,
+) -> str:
+    """Compute ``BipartiteGraph.content_hash()`` from chunk iterables.
+
+    Each argument is either a single array or an iterable of array chunks
+    whose concatenation is the full CSR array.  Returns the same digest as
+    the in-memory graph, without ever assembling it.
+    """
+
+    def _chunks(source):
+        if isinstance(source, np.ndarray):
+            return (source,)
+        return source
+
+    hasher = ChunkedContentHasher(n_rows, n_cols)
+    for section, source in (
+        ("col_ptr", col_ptr),
+        ("col_ind", col_ind),
+        ("row_ptr", row_ptr),
+        ("row_ind", row_ind),
+    ):
+        for chunk in _chunks(source):
+            hasher.update(section, chunk)
+    if weights is not None:
+        for chunk in _chunks(weights):
+            hasher.update("weights", chunk)
+    return hasher.hexdigest()

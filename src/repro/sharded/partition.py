@@ -1,0 +1,539 @@
+"""Column-block partitioning of the dual-CSR bipartite graph.
+
+A :class:`ShardedBipartiteGraph` splits the column side into contiguous
+blocks: shard ``s`` owns the global columns ``[boundaries[s],
+boundaries[s+1])`` and stores them as an ordinary :class:`BipartiteGraph`
+with *local* column ids and *global* row ids.  Rows are replicated — a row
+adjacent to columns in several shards appears in each of them — and the
+boundary index records exactly which rows those are, because they are the
+only place augmenting paths can cross shards.
+
+Two splitters produce the boundaries (:data:`PARTITION_METHODS`):
+
+* ``contiguous`` — equal column counts per shard (no degree information
+  needed, so the out-of-core ingest can use it in a single pass);
+* ``degree`` — boundaries chosen on the cumulative column-degree curve so
+  shards carry roughly equal *edge* counts (degree-balanced).
+
+Shards are served by a store: :class:`MaterializedShardStore` keeps them in
+memory (cheap views of an existing graph), :class:`SpilledShardStore` keeps
+them on disk and loads at most ``max_resident`` at a time — the contract the
+out-of-core ingest (:mod:`repro.sharded.ingest`) and the CI memory gate rely
+on.  Always-resident metadata is vertex-sized only (degrees, boundaries,
+boundary index), never edge-sized.
+
+``content_hash()`` reproduces the *unsharded* ``BipartiteGraph.content_hash``
+byte for byte by streaming the global CSR arrays out of the shards (the
+column side concatenates; the row side is a stable per-row-block merge), so
+sharded and in-memory representations of the same graph share one cache
+identity.
+"""
+
+from __future__ import annotations
+
+import shutil
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builders import _csr_from_pairs, from_edges
+from repro.graph.io import ChunkedContentHasher
+
+__all__ = [
+    "PARTITION_METHODS",
+    "ColumnPartition",
+    "MaterializedShardStore",
+    "ShardedBipartiteGraph",
+    "SpilledShardStore",
+    "load_shard",
+    "make_partition",
+    "partition_graph",
+    "save_shard",
+]
+
+PARTITION_METHODS = ("contiguous", "degree")
+
+
+@dataclass(frozen=True)
+class ColumnPartition:
+    """Contiguous column-block boundaries: shard ``s`` owns ``[b[s], b[s+1])``."""
+
+    n_cols: int
+    boundaries: np.ndarray
+    method: str
+
+    def __post_init__(self) -> None:
+        boundaries = np.ascontiguousarray(np.asarray(self.boundaries, dtype=np.int64))
+        boundaries.setflags(write=False)
+        object.__setattr__(self, "boundaries", boundaries)
+        if boundaries.ndim != 1 or boundaries.size < 2:
+            raise ValueError("boundaries must be a 1-D array with at least 2 entries")
+        if boundaries[0] != 0 or boundaries[-1] != self.n_cols:
+            raise ValueError(
+                f"boundaries must span [0, n_cols={self.n_cols}], got "
+                f"[{boundaries[0]}, {boundaries[-1]}]"
+            )
+        if np.any(np.diff(boundaries) < 0):
+            raise ValueError("boundaries must be non-decreasing")
+
+    @property
+    def n_shards(self) -> int:
+        return self.boundaries.size - 1
+
+    def column_range(self, shard: int) -> tuple[int, int]:
+        return int(self.boundaries[shard]), int(self.boundaries[shard + 1])
+
+    def width(self, shard: int) -> int:
+        lo, hi = self.column_range(shard)
+        return hi - lo
+
+    def shard_of(self, cols: np.ndarray) -> np.ndarray:
+        """Owning shard of each global column id (vectorized)."""
+        return np.searchsorted(self.boundaries, np.asarray(cols), side="right") - 1
+
+
+def make_partition(
+    method: str,
+    n_cols: int,
+    n_shards: int,
+    col_degrees: np.ndarray | None = None,
+) -> ColumnPartition:
+    """Build a :class:`ColumnPartition` with the named splitter.
+
+    ``degree`` places the boundaries on the cumulative column-degree curve
+    (requires ``col_degrees``); ``contiguous`` splits the column range
+    evenly.  ``n_shards`` may exceed ``n_cols`` — surplus shards come out
+    zero-width (a supported boundary case, not an error).
+    """
+    if method not in PARTITION_METHODS:
+        raise ValueError(
+            f"unknown partition method {method!r} (expected one of {PARTITION_METHODS})"
+        )
+    n_shards = int(n_shards)
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if method == "degree":
+        if col_degrees is None:
+            raise ValueError("degree-balanced partitioning needs col_degrees")
+        col_degrees = np.asarray(col_degrees, dtype=np.int64)
+        if col_degrees.size != n_cols:
+            raise ValueError(
+                f"col_degrees has {col_degrees.size} entries for n_cols={n_cols}"
+            )
+        cumulative = np.concatenate([[0], np.cumsum(col_degrees)])
+        total = int(cumulative[-1])
+        targets = total * np.arange(1, n_shards, dtype=np.float64) / n_shards
+        inner = np.searchsorted(cumulative, targets, side="left")
+        boundaries = np.concatenate([[0], inner, [n_cols]])
+        boundaries = np.maximum.accumulate(boundaries)
+        boundaries = np.minimum(boundaries, n_cols)
+    else:
+        boundaries = (np.arange(n_shards + 1, dtype=np.int64) * n_cols) // n_shards
+    return ColumnPartition(n_cols=n_cols, boundaries=boundaries, method=method)
+
+
+# ------------------------------------------------------------- shard stores
+#: The four CSR arrays persisted per shard, one raw ``.npy`` file each —
+#: raw (not ``.npz``) so any of them can be memory-mapped individually,
+#: which is how the reconciler walks spilled shards without heap loads.
+_SHARD_ARRAYS = ("col_ptr", "col_ind", "row_ptr", "row_ind")
+
+
+def save_shard(graph: BipartiteGraph, base: str | Path) -> None:
+    """Persist one shard's CSR arrays as ``<base>.<array>.npy`` files.
+
+    The shape needs no sidecar: ``n_cols`` / ``n_rows`` are the pointer
+    array lengths minus one.
+    """
+    for field in _SHARD_ARRAYS:
+        np.save(f"{base}.{field}.npy", getattr(graph, field))
+
+
+def load_shard(path: str | Path, name: str = "shard") -> BipartiteGraph:
+    """Load a shard previously written by :func:`save_shard`."""
+    arrays = {field: np.load(f"{path}.{field}.npy") for field in _SHARD_ARRAYS}
+    return BipartiteGraph(
+        n_rows=arrays["row_ptr"].size - 1,
+        n_cols=arrays["col_ptr"].size - 1,
+        name=name,
+        **arrays,
+    )
+
+
+class MaterializedShardStore:
+    """All shards resident in memory (views over an in-memory graph)."""
+
+    resident = True
+
+    def __init__(self, shards: list[BipartiteGraph]) -> None:
+        self._shards = list(shards)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def load(self, index: int) -> BipartiteGraph:
+        return self._shards[index]
+
+    def column_csr(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """The shard's ``(col_ptr, col_ind)`` without loading anything new."""
+        graph = self._shards[index]
+        return graph.col_ptr, graph.col_ind
+
+    def close(self) -> None:
+        self._shards.clear()
+
+
+class SpilledShardStore:
+    """Disk-backed shards with an LRU of at most ``max_resident`` loaded.
+
+    This is the piece that turns graph size into a per-shard bound: only the
+    ``.npy`` files live for the whole graph, and ``load`` keeps a small LRU
+    so a matcher walking shard by shard never holds more than
+    ``max_resident`` edge-sized arrays.  :meth:`column_csr` additionally
+    serves the column adjacency *memory-mapped* — random cross-shard access
+    (the reconciler's DFS) touches pages the OS caches and reclaims, with no
+    edge-sized heap allocation at all.  With ``cleanup=True`` the directory
+    is removed on :meth:`close` (and by a GC finalizer as a backstop).
+    """
+
+    resident = False
+
+    def __init__(
+        self,
+        directory: str | Path,
+        n_shards: int,
+        *,
+        max_resident: int = 1,
+        cleanup: bool = False,
+    ) -> None:
+        if max_resident < 1:
+            raise ValueError(f"max_resident must be >= 1, got {max_resident}")
+        self._directory = Path(directory)
+        self._n_shards = int(n_shards)
+        self.max_resident = int(max_resident)
+        self._cache: OrderedDict[int, BipartiteGraph] = OrderedDict()
+        self._finalizer = (
+            weakref.finalize(self, shutil.rmtree, str(self._directory), True)
+            if cleanup
+            else None
+        )
+
+    @staticmethod
+    def shard_path(directory: str | Path, index: int) -> Path:
+        """Base path of a shard's ``.npy`` quartet (no extension)."""
+        return Path(directory) / f"shard-{index:05d}"
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def load(self, index: int) -> BipartiteGraph:
+        if not 0 <= index < self._n_shards:
+            raise IndexError(f"shard index {index} out of range [0, {self._n_shards})")
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            return cached
+        graph = load_shard(self.shard_path(self._directory, index), name=f"shard{index}")
+        self._cache[index] = graph
+        while len(self._cache) > self.max_resident:
+            self._cache.popitem(last=False)
+        return graph
+
+    def column_csr(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(col_ptr, col_ind)`` with the edge-sized ``col_ind`` mmapped.
+
+        ``col_ptr`` is vertex-sized and loaded onto the heap; ``col_ind``
+        is a read-only memory map, so holding every shard's view at once
+        still costs O(n_cols) heap — the residency of the edge data is the
+        page cache's problem, not the process's.
+        """
+        if not 0 <= index < self._n_shards:
+            raise IndexError(f"shard index {index} out of range [0, {self._n_shards})")
+        base = self.shard_path(self._directory, index)
+        col_ptr = np.load(f"{base}.col_ptr.npy")
+        n_edges = int(col_ptr[-1]) if col_ptr.size else 0
+        if n_edges == 0:
+            # Zero-length arrays cannot be mmapped; an empty shard has no
+            # edge data to map anyway.
+            return col_ptr, np.empty(0, dtype=np.int64)
+        return col_ptr, np.load(f"{base}.col_ind.npy", mmap_mode="r")
+
+    def close(self) -> None:
+        self._cache.clear()
+        if self._finalizer is not None and self._finalizer.alive:
+            self._finalizer()
+
+
+# ---------------------------------------------------- the sharded container
+class ShardedBipartiteGraph:
+    """A column-block partitioned dual-CSR bipartite graph.
+
+    Shard ``s`` is an ordinary :class:`BipartiteGraph` over the global rows
+    and the local columns ``[boundaries[s], boundaries[s+1])``; the store
+    decides whether shards are resident or spilled.  Resident metadata is
+    vertex-sized: global degree arrays, the partition boundaries and the
+    boundary-row index (rows adjacent to more than one shard — the only
+    rows a cross-shard augmenting path can pivot on).
+    """
+
+    def __init__(
+        self,
+        *,
+        partition: ColumnPartition,
+        store,
+        n_rows: int,
+        col_degrees: np.ndarray,
+        row_degrees: np.ndarray,
+        shard_edge_counts: np.ndarray,
+        shard_rows: list[np.ndarray] | None = None,
+        name: str = "sharded",
+    ) -> None:
+        if store.n_shards != partition.n_shards:
+            raise ValueError(
+                f"store has {store.n_shards} shards, partition {partition.n_shards}"
+            )
+        self.partition = partition
+        self.store = store
+        self.n_rows = int(n_rows)
+        self.n_cols = int(partition.n_cols)
+        self.name = name
+        self.col_degrees = np.ascontiguousarray(col_degrees, dtype=np.int64)
+        self.row_degrees = np.ascontiguousarray(row_degrees, dtype=np.int64)
+        self.shard_edge_counts = np.ascontiguousarray(shard_edge_counts, dtype=np.int64)
+        if self.col_degrees.size != self.n_cols:
+            raise ValueError("col_degrees must have one entry per column")
+        if self.row_degrees.size != self.n_rows:
+            raise ValueError("row_degrees must have one entry per row")
+        if self.shard_edge_counts.size != partition.n_shards:
+            raise ValueError("shard_edge_counts must have one entry per shard")
+        self._build_boundary_index(shard_rows)
+        self._content_hash: str | None = None
+
+    def _build_boundary_index(self, shard_rows: list[np.ndarray] | None) -> None:
+        """Index the rows adjacent to >= 2 shards (CSR row -> shard ids)."""
+        if shard_rows is None:
+            shard_rows = []
+            for index in range(self.n_shards):
+                shard = self.store.load(index)
+                shard_rows.append(np.flatnonzero(shard.row_degrees > 0))
+        counts = np.zeros(self.n_rows, dtype=np.int64)
+        for present in shard_rows:
+            counts[present] += 1
+        self.row_shard_counts = counts
+        boundary_mask = counts >= 2
+        self.boundary_rows = np.flatnonzero(boundary_mask)
+        pair_rows: list[np.ndarray] = []
+        pair_shards: list[np.ndarray] = []
+        for index, present in enumerate(shard_rows):
+            hit = present[boundary_mask[present]]
+            if hit.size:
+                pair_rows.append(hit)
+                pair_shards.append(np.full(hit.size, index, dtype=np.int64))
+        if pair_rows:
+            rows = np.concatenate(pair_rows)
+            shards = np.concatenate(pair_shards)
+            order = np.argsort(rows, kind="stable")
+            rows = rows[order]
+            self._boundary_shard_ind = shards[order]
+            self._boundary_ptr = np.searchsorted(
+                rows, np.concatenate([self.boundary_rows, [self.n_rows]])
+            )
+        else:
+            self._boundary_shard_ind = np.empty(0, dtype=np.int64)
+            self._boundary_ptr = np.zeros(self.boundary_rows.size + 1, dtype=np.int64)
+
+    # -- shape -------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.partition.n_shards
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.shard_edge_counts.sum())
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    def shard(self, index: int) -> BipartiteGraph:
+        return self.store.load(index)
+
+    def col_offset(self, index: int) -> int:
+        return int(self.partition.boundaries[index])
+
+    def column_range(self, index: int) -> tuple[int, int]:
+        return self.partition.column_range(index)
+
+    def boundary_shards(self, row: int) -> np.ndarray:
+        """Shard ids a *boundary* row is adjacent to (empty for other rows)."""
+        slot = np.searchsorted(self.boundary_rows, row)
+        if slot >= self.boundary_rows.size or self.boundary_rows[slot] != row:
+            return np.empty(0, dtype=np.int64)
+        return self._boundary_shard_ind[self._boundary_ptr[slot] : self._boundary_ptr[slot + 1]]
+
+    def close(self) -> None:
+        self.store.close()
+
+    # -- identity ----------------------------------------------------------
+    def content_hash(self, *, row_block: int | None = None) -> str:
+        """The digest of the *unsharded* graph, streamed out of the shards.
+
+        Column side: global ``col_ptr``/``col_ind`` are per-shard
+        concatenations (plus edge offsets), hashed shard by shard.  Row
+        side: global ``row_ptr`` comes from the resident degree array;
+        global ``row_ind`` is reassembled in row blocks with a stable merge
+        (shards are visited in column order, so each row's neighbours come
+        out sorted).  With a spilled store the default block count equals
+        the shard count, keeping the working set at O(largest shard).
+        """
+        if self._content_hash is not None:
+            return self._content_hash
+        hasher = ChunkedContentHasher(self.n_rows, self.n_cols)
+
+        col_ptr = np.zeros(self.n_cols + 1, dtype=np.int64)
+        np.cumsum(self.col_degrees, out=col_ptr[1:])
+        hasher.update("col_ptr", col_ptr)
+        del col_ptr
+        for index in range(self.n_shards):
+            shard = self.store.load(index)
+            if shard.n_edges:
+                hasher.update("col_ind", shard.col_ind)
+
+        row_ptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        np.cumsum(self.row_degrees, out=row_ptr[1:])
+        hasher.update("row_ptr", row_ptr)
+        del row_ptr
+        for chunk in self._iter_row_ind_blocks(row_block):
+            hasher.update("row_ind", chunk)
+
+        self._content_hash = hasher.hexdigest()
+        return self._content_hash
+
+    def _iter_row_ind_blocks(self, row_block: int | None):
+        if row_block is None:
+            if getattr(self.store, "resident", False):
+                row_block = self.n_rows
+            else:
+                row_block = -(-self.n_rows // max(1, self.n_shards))
+        row_block = max(1, int(row_block))
+        boundaries = self.partition.boundaries
+        for r0 in range(0, self.n_rows, row_block):
+            r1 = min(self.n_rows, r0 + row_block)
+            rows_parts: list[np.ndarray] = []
+            cols_parts: list[np.ndarray] = []
+            for index in range(self.n_shards):
+                shard = self.store.load(index)
+                start = int(shard.row_ptr[r0])
+                stop = int(shard.row_ptr[r1])
+                if stop == start:
+                    continue
+                cols_parts.append(shard.row_ind[start:stop] + boundaries[index])
+                degrees = np.diff(shard.row_ptr[r0 : r1 + 1])
+                rows_parts.append(np.repeat(np.arange(r0, r1, dtype=np.int64), degrees))
+            if not rows_parts:
+                continue
+            rows = np.concatenate(rows_parts)
+            cols = np.concatenate(cols_parts)
+            # Stable by row: shards were appended in column order, so each
+            # row's neighbours are already ascending within the merge.
+            order = np.argsort(rows, kind="stable")
+            yield cols[order]
+
+    # -- materialization ---------------------------------------------------
+    def to_graph(self, name: str | None = None) -> BipartiteGraph:
+        """Reassemble the full in-memory graph (testing / small instances)."""
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        for index in range(self.n_shards):
+            shard = self.store.load(index)
+            if not shard.n_edges:
+                continue
+            rows_parts.append(shard.col_ind)
+            local_cols = np.repeat(
+                np.arange(shard.n_cols, dtype=np.int64), np.diff(shard.col_ptr)
+            )
+            cols_parts.append(local_cols + self.col_offset(index))
+        if rows_parts:
+            edges = np.column_stack([np.concatenate(rows_parts), np.concatenate(cols_parts)])
+        else:
+            edges = np.empty((0, 2), dtype=np.int64)
+        return from_edges(
+            edges,
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            name=name if name is not None else self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedBipartiteGraph(name={self.name!r}, shape={self.shape}, "
+            f"n_edges={self.n_edges}, n_shards={self.n_shards}, "
+            f"method={self.partition.method!r})"
+        )
+
+
+def partition_graph(
+    graph: BipartiteGraph,
+    n_shards: int,
+    method: str = "contiguous",
+    *,
+    name: str | None = None,
+) -> ShardedBipartiteGraph:
+    """Partition an in-memory graph into column-block shards (views).
+
+    Each shard's column CSR is a slice of the parent's arrays; the row CSR
+    is rebuilt per shard (rows keep their global ids).  Weighted graphs are
+    rejected — sharded matching is cardinality-only, strip the weights
+    first (``graph.with_weights(None)``).
+    """
+    if graph.weights is not None:
+        raise ValueError(
+            "sharded matching is cardinality-only: strip the weights first "
+            "(graph.with_weights(None))"
+        )
+    partition = make_partition(method, graph.n_cols, n_shards, col_degrees=graph.col_degrees)
+    shards: list[BipartiteGraph] = []
+    shard_rows: list[np.ndarray] = []
+    edge_counts = np.zeros(partition.n_shards, dtype=np.int64)
+    for index in range(partition.n_shards):
+        lo, hi = partition.column_range(index)
+        ptr = graph.col_ptr[lo : hi + 1]
+        base = int(ptr[0]) if ptr.size else 0
+        width = hi - lo
+        rows = graph.col_ind[base : int(ptr[-1])] if ptr.size else np.empty(0, dtype=np.int64)
+        local_cols = np.repeat(np.arange(width, dtype=np.int64), np.diff(ptr))
+        col_ptr, col_ind, row_ptr, row_ind, _ = _csr_from_pairs(
+            rows, local_cols, graph.n_rows, width
+        )
+        shard = BipartiteGraph(
+            n_rows=graph.n_rows,
+            n_cols=width,
+            col_ptr=col_ptr,
+            col_ind=col_ind,
+            row_ptr=row_ptr,
+            row_ind=row_ind,
+            name=f"{graph.name}[s{index}]",
+        )
+        shards.append(shard)
+        shard_rows.append(np.flatnonzero(shard.row_degrees > 0))
+        edge_counts[index] = shard.n_edges
+    return ShardedBipartiteGraph(
+        partition=partition,
+        store=MaterializedShardStore(shards),
+        n_rows=graph.n_rows,
+        col_degrees=graph.col_degrees,
+        row_degrees=graph.row_degrees,
+        shard_edge_counts=edge_counts,
+        shard_rows=shard_rows,
+        name=name if name is not None else f"{graph.name}@{partition.n_shards}",
+    )

@@ -289,3 +289,127 @@ def test_matrix_market_weight_errors(tmp_path):
     path.write_text("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n")
     with pytest.raises(ValueError, match=r"badval\.mtx:3: non-numeric value"):
         read_matrix_market(path, with_weights=True)
+
+
+# ---------------------------------------------------------------------------
+# streaming reader / writer / chunked hashing
+# ---------------------------------------------------------------------------
+def _gzip_copy(path, dest):
+    import gzip
+
+    dest.write_bytes(gzip.compress(path.read_bytes()))
+    return dest
+
+
+@pytest.mark.parametrize(
+    "body, message",
+    [
+        ("2 2 2\n1 1\n9 1\n", r"{name}:4: row index 9 outside the declared size 2"),
+        ("2 2 2\n1 1\nx 1\n", r"{name}:4: non-integer indices in entry line 'x 1'"),
+        ("2 2 2\n1 1\n2\n", r"{name}:4: malformed entry line '2'"),
+        ("2 2 2\n1 1\n", r"{name}: expected 2 entries, found 1"),
+        ("2 2 1\n1 1\n2 2\n", r"{name}: more entries than declared \(1\)"),
+    ],
+)
+def test_matrix_market_gz_reports_logical_line_numbers(tmp_path, body, message):
+    # Regression: .mtx.gz errors must cite the same *logical* line number as
+    # the uncompressed file, not a byte offset or a compressed-stream count.
+    header = "%%MatrixMarket matrix coordinate pattern general\n"
+    plain = tmp_path / "bad.mtx"
+    plain.write_text(header + body)
+    gz = _gzip_copy(plain, tmp_path / "bad.mtx.gz")
+    with pytest.raises(ValueError, match=message.format(name=r"bad\.mtx")) as plain_err:
+        read_matrix_market(plain)
+    with pytest.raises(ValueError, match=message.format(name=r"bad\.mtx\.gz")) as gz_err:
+        read_matrix_market(gz)
+    # Identical messages apart from the path itself.
+    assert str(plain_err.value).replace("bad.mtx", "X") == str(
+        gz_err.value
+    ).replace("bad.mtx.gz", "X")
+
+
+def test_matrix_market_stream_chunks_match_bulk_read(tmp_path):
+    from repro.graph.io import MatrixMarketStream
+
+    graph = uniform_random_bipartite(60, 50, avg_degree=5.0, seed=44)
+    path = tmp_path / "g.mtx"
+    write_matrix_market(graph, path)
+    rows, cols = [], []
+    with MatrixMarketStream(path, chunk_entries=7) as stream:
+        assert stream.header.n_rows == 60 and stream.header.n_cols == 50
+        for r, c, values in stream:
+            assert values is None
+            assert 0 < r.size <= 7
+            rows.append(r)
+            cols.append(c)
+    streamed = from_edges(
+        np.column_stack([np.concatenate(rows), np.concatenate(cols)]),
+        n_rows=60,
+        n_cols=50,
+    )
+    assert streamed.content_hash() == graph.content_hash()
+
+
+def test_matrix_market_stream_writer_round_trips(tmp_path):
+    from repro.graph.io import MatrixMarketStreamWriter
+
+    graph = uniform_random_bipartite(40, 40, avg_degree=4.0, seed=45)
+    edges = graph.edges()
+    path = tmp_path / "w.mtx.gz"
+    with MatrixMarketStreamWriter(
+        path, n_rows=40, n_cols=40, n_entries=graph.n_edges
+    ) as writer:
+        for start in range(0, graph.n_edges, 11):
+            chunk = edges[start : start + 11]
+            writer.write_chunk(chunk[:, 0], chunk[:, 1])
+    assert read_matrix_market(path).content_hash() == graph.content_hash()
+
+
+def test_matrix_market_stream_writer_checks_declared_count(tmp_path):
+    from repro.graph.io import MatrixMarketStreamWriter
+
+    writer = MatrixMarketStreamWriter(tmp_path / "w.mtx", n_rows=3, n_cols=3, n_entries=2)
+    writer.write_chunk(np.array([0]), np.array([1]))
+    with pytest.raises(ValueError, match="declared 2 entries but wrote 1"):
+        writer.close()
+
+
+def test_chunked_content_hash_equals_in_memory(tmp_path):
+    # The streamed digest must be byte-identical to BipartiteGraph.content_hash
+    # regardless of how the arrays are split into chunks.
+    from repro.graph.io import ChunkedContentHasher, chunked_content_hash
+
+    graph = uniform_random_bipartite(80, 70, avg_degree=6.0, seed=46)
+
+    def split(arr, size):
+        return [arr[i : i + size] for i in range(0, len(arr), size)] or [arr]
+
+    for chunk in (1, 7, 10_000):
+        digest = chunked_content_hash(
+            graph.n_rows,
+            graph.n_cols,
+            split(graph.col_ptr, chunk),
+            split(graph.col_ind, chunk),
+            split(graph.row_ptr, chunk),
+            split(graph.row_ind, chunk),
+        )
+        assert digest == graph.content_hash()
+
+    weighted = graph.with_weights(np.linspace(1.0, 2.0, graph.n_edges))
+    digest = chunked_content_hash(
+        graph.n_rows,
+        graph.n_cols,
+        graph.col_ptr,
+        graph.col_ind,
+        graph.row_ptr,
+        graph.row_ind,
+        weights=split(weighted.weights, 13),
+    )
+    assert digest == weighted.content_hash()
+
+    hasher = ChunkedContentHasher(3, 3)
+    hasher.update("row_ptr", np.zeros(4, dtype=np.int64))
+    with pytest.raises(ValueError, match="sections must arrive in CSR order"):
+        hasher.update("col_ind", np.zeros(0, dtype=np.int64))
+    with pytest.raises(ValueError, match="unknown section"):
+        hasher.update("values", np.zeros(1, dtype=np.int64))
