@@ -48,6 +48,6 @@ def test_backend_smoke(make_backend, jobs, inline_reference):
         handles = engine.map(jobs)
         results = [handle.result() for handle in handles]
         assert all(handle.seconds > 0 for handle in handles)
-    for result, reference in zip(results, inline_reference):
+    for result, reference in zip(results, inline_reference, strict=True):
         assert result.cardinality == reference.cardinality
         assert np.array_equal(result.matching.row_match, reference.matching.row_match)

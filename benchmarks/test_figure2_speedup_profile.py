@@ -28,7 +28,7 @@ def test_figure2_speedup_profiles(benchmark, suite_results):
         ys = [y for _, y in points]
         # Profiles are non-increasing and start at P(speedup >= 0) = 1.
         assert ys[0] == 1.0
-        assert all(a >= b - 1e-12 for a, b in zip(ys, ys[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(ys, ys[1:], strict=False))
 
     # G-PR is faster than sequential PR on the majority of instances (paper: 82%).
     rows, _ = build_figure4(suite_results)

@@ -1,0 +1,54 @@
+"""Repo-native static analysis and the lockstep-kernel race sanitizer.
+
+Two independent halves:
+
+* the invariant linter (:mod:`repro.analysis.linting` /
+  :mod:`repro.analysis.rules`) — the ``repro lint`` subcommand;
+* the dynamic race sanitizer (:mod:`repro.analysis.hazards`) — shadow-access
+  recording for the gpusim layer, with the shipped-kernel conflict policies
+  and the sanitized sweep in :mod:`repro.analysis.registry`.
+
+This package deliberately imports only stdlib + numpy at the top level so
+the minimal-install CI job (no scipy/networkx) can use both halves; the
+sweep registry, which pulls in the solver layers, is loaded lazily via
+``repro.analysis.registry`` or ``python -m repro.analysis``.
+"""
+
+from repro.analysis.hazards import (
+    AccessLog,
+    ConflictPolicy,
+    Hazard,
+    HazardReport,
+    SegmentRecord,
+    ShadowArray,
+    evaluate,
+    shadow_wrap,
+)
+from repro.analysis.linting import (
+    LintContext,
+    Violation,
+    format_violations,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import RULES, Rule
+
+__all__ = [
+    "AccessLog",
+    "ConflictPolicy",
+    "Hazard",
+    "HazardReport",
+    "LintContext",
+    "RULES",
+    "Rule",
+    "SegmentRecord",
+    "ShadowArray",
+    "Violation",
+    "evaluate",
+    "format_violations",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "shadow_wrap",
+]

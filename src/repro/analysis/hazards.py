@@ -1,0 +1,361 @@
+"""Dynamic race sanitizer for the gpusim lockstep kernels.
+
+The paper's kernels are lock- and atomic-free: their correctness argument
+(§III-B) rests on every intra-wave conflict being one of a small set of
+*declared* benign races (last-writer-wins pushes, slot-local list repair,
+serialised claim walks).  The sanitizer turns that argument into a checked
+property:
+
+* :class:`ShadowArray` is an ``ndarray`` view that records every read and
+  write (with exact indices for subscript access) into an
+  :class:`AccessLog`.  ``VirtualGPU(shadow=AccessLog())`` hands these views
+  out via ``shadow_wrap`` so the unmodified kernel code records itself.
+* The access stream is cut into **segments** by ``charge_kernel`` (the repo
+  convention is charge-after-access, so the accesses between two charges
+  belong to the closing charge's kernel) and into **waves** by
+  :func:`repro.gpusim.kernel.wave_barrier` (the lockstep engines' resident-
+  wave boundary) and ``VirtualGPU.shadow_sync`` (host-side sync points).
+* Within one wave, a read of a location some thread already wrote is a
+  **read-after-write (RAW)** hazard and a second write to a written location
+  is a **write-write (WW)** hazard.  Wave and segment boundaries clear the
+  written set — later waves legitimately observe earlier waves' writes.
+* A per-kernel :class:`ConflictPolicy` declares which hazards are part of
+  the algorithm; :func:`evaluate` splits the observed hazards into declared
+  and undeclared ones and returns a structured :class:`HazardReport`.
+
+Only numpy is required; the module never imports the solver layers, so the
+minimal-install CI job can load it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AccessLog",
+    "ConflictPolicy",
+    "Hazard",
+    "HazardReport",
+    "SegmentRecord",
+    "ShadowArray",
+    "evaluate",
+    "shadow_wrap",
+]
+
+#: Segment name assigned to accesses that are never closed by a kernel
+#: charge.  Host code is sequential, so host segments cannot race.
+HOST_SEGMENT = "<host>"
+
+_SAMPLE = 8  # indices kept per hazard for the report
+
+
+def _normalize_indices(key, length: int) -> np.ndarray | None:
+    """Flat int64 indices touched by ``array[key]``; ``None`` means *all*.
+
+    Device arrays in this codebase are one-dimensional; for any exotic key
+    (tuples, ellipsis) the conservative answer is "the whole array".
+    """
+    if isinstance(key, (int, np.integer)):
+        idx = int(key)
+        return np.array([idx if idx >= 0 else length + idx], dtype=np.int64)
+    if isinstance(key, slice):
+        return np.arange(*key.indices(length), dtype=np.int64)
+    if isinstance(key, np.ndarray):
+        if key.dtype == bool:
+            return np.flatnonzero(key).astype(np.int64)
+        idx = key.astype(np.int64, copy=True).ravel()
+        idx[idx < 0] += length
+        return idx
+    if isinstance(key, (list, tuple)) and all(isinstance(k, (int, np.integer)) for k in key):
+        idx = np.asarray(key, dtype=np.int64)
+        idx[idx < 0] += length
+        return idx
+    return None
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One intra-wave conflict observed on one array within one kernel."""
+
+    kernel: str
+    array: str
+    kind: str  # "raw" or "ww"
+    count: int
+    sample: tuple[int, ...]
+
+    def render(self) -> str:
+        where = ", ".join(str(i) for i in self.sample)
+        suffix = ", …" if self.count > len(self.sample) else ""
+        return (
+            f"{self.kernel}: {self.kind.upper()} on `{self.array}` "
+            f"({self.count} locations: {where}{suffix})"
+        )
+
+
+@dataclass
+class SegmentRecord:
+    """The per-kernel-launch slice of the access stream."""
+
+    kernel: str
+    hazards: list[Hazard]
+    reads: int
+    writes: int
+
+
+class _ArrayWave:
+    """Per-array state of the current wave."""
+
+    __slots__ = ("written", "whole_written")
+
+    def __init__(self) -> None:
+        self.written: set[int] = set()
+        self.whole_written = False
+
+
+class AccessLog:
+    """Charge-delimited, wave-aware read/write recorder."""
+
+    def __init__(self) -> None:
+        self._wave: dict[str, _ArrayWave] = {}
+        self._pending: dict[tuple[str, str], list] = {}  # (array, kind) -> [count, sample]
+        self._reads = 0
+        self._writes = 0
+        self.segments: list[SegmentRecord] = []
+
+    # ------------------------------------------------------------- recording
+    def _state(self, name: str) -> _ArrayWave:
+        state = self._wave.get(name)
+        if state is None:
+            state = self._wave[name] = _ArrayWave()
+        return state
+
+    def _hazard(self, name: str, kind: str, indices) -> None:
+        entry = self._pending.setdefault((name, kind), [0, []])
+        hits = list(indices)
+        entry[0] += max(1, len(hits))
+        for idx in hits[: _SAMPLE - len(entry[1])]:
+            entry[1].append(int(idx))
+
+    def record_read(self, name: str, indices: np.ndarray | None) -> None:
+        self._reads += 1
+        state = self._wave.get(name)
+        if state is None:
+            return
+        if state.whole_written:
+            if indices is None or len(indices):
+                self._hazard(name, "raw", [] if indices is None else indices[:_SAMPLE])
+        elif state.written:
+            if indices is None:
+                self._hazard(name, "raw", sorted(state.written)[:_SAMPLE])
+            else:
+                hits = state.written.intersection(int(i) for i in indices)
+                if hits:
+                    self._hazard(name, "raw", sorted(hits))
+
+    def record_write(self, name: str, indices: np.ndarray | None) -> None:
+        self._writes += 1
+        state = self._state(name)
+        if indices is None:
+            if state.whole_written or state.written:
+                self._hazard(name, "ww", sorted(state.written)[:_SAMPLE])
+            state.whole_written = True
+            state.written.clear()
+            return
+        if state.whole_written:
+            if len(indices):
+                self._hazard(name, "ww", indices[:_SAMPLE])
+            return
+        unique, counts = (
+            np.unique(indices, return_counts=True) if len(indices) else (indices, indices)
+        )
+        dup = unique[counts > 1] if len(indices) else indices
+        if len(dup):
+            # Duplicate targets inside one fancy assignment: numpy resolves
+            # them last-occurrence-wins — the canonical lockstep WW.
+            self._hazard(name, "ww", dup)
+        hits = state.written.intersection(int(i) for i in unique)
+        if hits:
+            self._hazard(name, "ww", sorted(hits))
+        state.written.update(int(i) for i in unique)
+
+    # ------------------------------------------------------------ boundaries
+    def wave_barrier(self) -> None:
+        """End of a resident wave: earlier writes become visible, not racy."""
+        self._wave.clear()
+
+    def close_segment(self, kernel: str) -> None:
+        """Attribute everything since the previous charge to ``kernel``."""
+        hazards = [
+            Hazard(kernel, array, kind, count, tuple(sample))
+            for (array, kind), (count, sample) in sorted(self._pending.items())
+        ]
+        self.segments.append(SegmentRecord(kernel, hazards, self._reads, self._writes))
+        self._pending.clear()
+        self._reads = self._writes = 0
+        self.wave_barrier()
+
+    def finalize(self) -> None:
+        """Fold trailing (never-charged) accesses into the host segment."""
+        if self._pending or self._reads or self._writes:
+            self.close_segment(HOST_SEGMENT)
+
+
+class ShadowArray(np.ndarray):
+    """An ``ndarray`` view recording its accesses into an :class:`AccessLog`.
+
+    Results of reads (subscripts, ufuncs, array functions) come back as
+    *plain* arrays so recording does not propagate to derived temporaries —
+    only the named device-resident arrays are tracked.
+    """
+
+    shadow_log: AccessLog | None
+    shadow_name: str
+
+    def __array_finalize__(self, obj) -> None:
+        self.shadow_log = getattr(obj, "shadow_log", None)
+        self.shadow_name = getattr(obj, "shadow_name", "?")
+
+    # ------------------------------------------------------------ subscripts
+    def __getitem__(self, key):
+        log = self.shadow_log
+        if log is not None:
+            log.record_read(self.shadow_name, _normalize_indices(key, len(self)))
+        return self.view(np.ndarray)[key]
+
+    def __setitem__(self, key, value) -> None:
+        log = self.shadow_log
+        if log is not None:
+            log.record_write(self.shadow_name, _normalize_indices(key, len(self)))
+        self.view(np.ndarray)[key] = value
+
+    def fill(self, value) -> None:
+        log = self.shadow_log
+        if log is not None:
+            log.record_write(self.shadow_name, None)
+        self.view(np.ndarray).fill(value)
+
+    # ----------------------------------------------------------- array proto
+    def _unwrap_and_record(self, obj, write: bool = False):
+        if isinstance(obj, ShadowArray):
+            log = obj.shadow_log
+            if log is not None:
+                record = log.record_write if write else log.record_read
+                record(obj.shadow_name, None)
+            return obj.view(np.ndarray)
+        return obj
+
+    def __array_ufunc__(self, ufunc, method, *inputs, out=None, **kwargs):
+        plain_inputs = tuple(self._unwrap_and_record(x) for x in inputs)
+        if out is not None:
+            kwargs["out"] = tuple(self._unwrap_and_record(x, write=True) for x in out)
+        return getattr(ufunc, method)(*plain_inputs, **kwargs)
+
+    def __array_function__(self, func, types, args, kwargs):
+        def deep(obj):
+            if isinstance(obj, (list, tuple)):
+                return type(obj)(deep(x) for x in obj)
+            return self._unwrap_and_record(obj)
+
+        return func(*deep(args), **{k: deep(v) for k, v in kwargs.items()})
+
+
+def shadow_wrap(array: np.ndarray, name: str, log: AccessLog) -> ShadowArray:
+    """A recording view of ``array`` (shared buffer) registered under ``name``."""
+    view = np.asarray(array).view(ShadowArray)
+    view.shadow_log = log
+    view.shadow_name = name
+    return view
+
+
+# --------------------------------------------------------------------------
+# policies and reports
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConflictPolicy:
+    """The races a kernel *declares* as part of its algorithm.
+
+    Attributes
+    ----------
+    last_writer_wins:
+        Arrays whose intra-wave WW conflicts are resolved by the lockstep
+        last-occurrence-wins rule (§III-B of the paper); RAW on these arrays
+        is still undeclared.
+    slot_local:
+        Arrays where each logical thread owns a private slot, so the
+        vectorised multi-statement implementation may re-read and re-write
+        its own slots (covers RAW and WW).
+    serialized:
+        The kernel models a serialised interleaving (claim-based DFS walks);
+        every hazard is declared.
+    note:
+        Human-readable justification, echoed into reports and docs.
+    """
+
+    last_writer_wins: frozenset = frozenset()
+    slot_local: frozenset = frozenset()
+    serialized: bool = False
+    note: str = ""
+
+    def covers(self, hazard: Hazard) -> bool:
+        if self.serialized:
+            return True
+        if hazard.array in self.slot_local:
+            return True
+        return hazard.kind == "ww" and hazard.array in self.last_writer_wins
+
+
+@dataclass
+class HazardReport:
+    """Structured outcome of one sanitized run."""
+
+    label: str
+    kernels_seen: tuple[str, ...]
+    declared: list[Hazard] = field(default_factory=list)
+    undeclared: list[Hazard] = field(default_factory=list)
+    reads: int = 0
+    writes: int = 0
+
+    def ok(self) -> bool:
+        return not self.undeclared
+
+    def render(self) -> str:
+        lines = [
+            f"[{self.label}] kernels: {', '.join(self.kernels_seen) or '(none)'} — "
+            f"{self.reads} reads / {self.writes} writes recorded"
+        ]
+        for hazard in self.declared:
+            lines.append(f"  declared   {hazard.render()}")
+        for hazard in self.undeclared:
+            lines.append(f"  UNDECLARED {hazard.render()}")
+        if self.ok():
+            lines.append("  no undeclared hazards")
+        return "\n".join(lines)
+
+
+def evaluate(
+    log: AccessLog,
+    policies: Mapping[str, ConflictPolicy],
+    label: str = "run",
+) -> HazardReport:
+    """Split the log's hazards into declared / undeclared under ``policies``.
+
+    Unknown kernel names get the empty policy (every hazard undeclared);
+    the trailing host segment is sequential and therefore always declared.
+    """
+    log.finalize()
+    empty = ConflictPolicy()
+    host = ConflictPolicy(serialized=True, note="host code is sequential")
+    report = HazardReport(label=label, kernels_seen=())
+    seen: list[str] = []
+    for segment in log.segments:
+        if segment.kernel not in seen:
+            seen.append(segment.kernel)
+        report.reads += segment.reads
+        report.writes += segment.writes
+        policy = host if segment.kernel == HOST_SEGMENT else policies.get(segment.kernel, empty)
+        for hazard in segment.hazards:
+            (report.declared if policy.covers(hazard) else report.undeclared).append(hazard)
+    report.kernels_seen = tuple(seen)
+    return report

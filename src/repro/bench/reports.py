@@ -9,7 +9,7 @@ benchmarks, the CLI and EXPERIMENTS.md all derive from the same code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.bench.harness import (
     InstanceResult,

@@ -162,7 +162,7 @@ def _load_manifest(
     if path == "-":
         lines = sys.stdin.read().splitlines()
     else:
-        with open(path, "r", encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             lines = fh.read().splitlines()
     # Phase 1: parse and validate every line (cheap, no graph construction).
     entries: list[tuple[int, dict, tuple]] = []
@@ -612,6 +612,33 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the linter is stdlib-only and must load (and run) on the
+    # minimal install, independently of the solver stack.
+    from repro.analysis.linting import lint_paths
+    from repro.analysis.rules import RULES
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code}  {rule.name}: {rule.summary}")
+        return 0
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return 2
+    violations = lint_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps([v.__dict__ for v in violations], indent=2))
+    else:
+        for violation in violations:
+            print(violation.render())
+        if violations:
+            print(f"{len(violations)} violation(s)", file=sys.stderr)
+    return 1 if violations else 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     runner = SuiteRunner(profile=args.profile, seed=args.seed,
                          instances=args.instances or None)
@@ -851,6 +878,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("list", help="list suite instances and algorithms")
     lst.set_defaults(func=_cmd_list)
+
+    lint = sub.add_parser("lint", help="run the repo-native invariant linter")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", default="text", choices=("text", "json"),
+                      help="report format")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     table = sub.add_parser("table1", help="regenerate Table I")
     table.add_argument("--profile", default="small")

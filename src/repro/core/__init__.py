@@ -65,5 +65,6 @@ def __getattr__(name: str):
             warnings.simplefilter("ignore", DeprecationWarning)
             from repro.core import api
 
-            return api.ALGORITHMS
+            # This *is* the deprecation shim: the one forwarding site.
+            return api.ALGORITHMS  # repro-lint: disable=RPR006
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

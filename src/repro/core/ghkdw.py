@@ -48,7 +48,7 @@ def _bfs_phase(
     (i.e. an augmenting path exists).
     """
     n_cols = graph.n_cols
-    level = np.full(n_cols, _INF, dtype=np.int64)
+    level = gpu.shadow_wrap(np.full(n_cols, _INF, dtype=np.int64), "level")
     frontier = np.flatnonzero(mu_col == UNMATCHED)
     level[frontier] = 0
     reached_free_row = False
@@ -63,10 +63,10 @@ def _bfs_phase(
         # expensive for the level-synchronous GPU codes.
         thread_work = np.ones(n_cols, dtype=np.float64)
         thread_work[frontier] += degrees.astype(np.float64)
-        gpu.charge_kernel("ghkdw-bfs", thread_work)
 
         total = int(degrees.sum())
         if total == 0:
+            gpu.charge_kernel("ghkdw-bfs", thread_work)
             break
         offsets = np.zeros(len(frontier) + 1, dtype=np.int64)
         np.cumsum(degrees, out=offsets[1:])
@@ -81,6 +81,10 @@ def _bfs_phase(
         next_cols = np.unique(next_cols)
         next_cols = next_cols[level[next_cols] == _INF]
         level[next_cols] = current + 1
+        # Charge-after-access: this level's frontier scan and level writes
+        # belong to the launch just completed (same value and order as the
+        # golden counters — only the call site moved past the accesses).
+        gpu.charge_kernel("ghkdw-bfs", thread_work)
         frontier = next_cols
         current += 1
         if reached_free_row:
@@ -194,8 +198,8 @@ def ghkdw_matching(
         initial = cheap_matching(graph).matching
     else:
         initial = initial.copy().canonical()
-    mu_row = initial.row_match.copy()
-    mu_col = initial.col_match.copy()
+    mu_row = gpu.shadow_wrap(initial.row_match.copy(), "mu_row")
+    mu_col = gpu.shadow_wrap(initial.col_match.copy(), "mu_col")
     initial_cardinality = int(np.count_nonzero(mu_row >= 0))
     limit = max_phases if max_phases is not None else 4 * (graph.n_rows + graph.n_cols) + 16
 
@@ -238,7 +242,7 @@ def ghkdw_matching(
     }
     return MatchingResult.create(
         "G-HKDW",
-        Matching(mu_row, mu_col),
+        Matching(np.asarray(mu_row), np.asarray(mu_col)),
         counters=counters,
         modeled_time=gpu.ledger.total_seconds,
         wall_time=wall,

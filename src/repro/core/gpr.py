@@ -170,6 +170,12 @@ def gpr_matching(
 
     t0 = time.perf_counter()
     state, initial_cardinality = _initial_state(graph, initial)
+    # Under shadow-access mode the µ/ψ arrays become recording views (shared
+    # buffers); without it shadow_wrap is the identity on these arrays.
+    state.mu_row = gpu.shadow_wrap(state.mu_row, "mu_row")
+    state.mu_col = gpu.shadow_wrap(state.mu_col, "mu_col")
+    state.psi_row = gpu.shadow_wrap(state.psi_row, "psi_row")
+    state.psi_col = gpu.shadow_wrap(state.psi_col, "psi_col")
     max_iterations = (
         config.max_iterations
         if config.max_iterations is not None
@@ -195,7 +201,7 @@ def gpr_matching(
     }
     return MatchingResult.create(
         f"G-PR-{variant.value}",
-        Matching(state.mu_row, state.mu_col),
+        Matching(np.asarray(state.mu_row), np.asarray(state.mu_col)),
         counters=counters,
         modeled_time=gpu.ledger.total_seconds,
         wall_time=wall,
@@ -260,9 +266,9 @@ def _run_active_list(
 ) -> tuple[int, int]:
     """Algorithm 7: the active-list variants (with and without shrinking)."""
     unmatched = np.flatnonzero(state.mu_col == UNMATCHED).astype(np.int64)
-    ac = unmatched.copy()
-    ap = unmatched.copy()
-    ia = np.full(graph.n_cols, -1, dtype=np.int64)
+    ac = gpu.shadow_wrap(unmatched.copy(), "ac")
+    ap = gpu.shadow_wrap(unmatched.copy(), "ap")
+    ia = gpu.shadow_wrap(np.full(graph.n_cols, -1, dtype=np.int64), "ia")
 
     loop = 0
     iter_gr = 0
@@ -293,6 +299,10 @@ def _run_active_list(
                 state.mu_row, state.mu_col, ac, ap, ia, loop
             )
             gpu.charge_kernel("g-pr-shrkrnl", work)
+            # The shrink kernel compacts into freshly allocated lists; rewrap
+            # them so shadow mode keeps recording accesses to the new buffers.
+            ac = gpu.shadow_wrap(ac, "ac")
+            ap = gpu.shadow_wrap(ap, "ap")
             shrink_pending = False
         else:
             act_exists, work = init_active_kernel(state.mu_row, state.mu_col, ac, ap, ia, loop)

@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.gpusim.kernel import wave_barrier
 from repro.gpusim.primitives import device_exclusive_scan
 from repro.matching import UNMATCHABLE, UNMATCHED
 
@@ -289,6 +290,7 @@ def push_kernel_all_columns(
         wave_cols = act_cols[wave]
         scanned = _push_wave(graph, mu_row, mu_col, psi_row, psi_col, wave_cols)
         thread_work[wave_cols] += scanned
+        wave_barrier(mu_row, mu_col, psi_row, psi_col)
     return True, thread_work
 
 
@@ -479,6 +481,7 @@ def push_kernel_active_list(
         psi_row[ok_rows] = ok_min + 2
         # Line 18: record the column displaced by a double push (or −1 for a single push).
         ap[ok_slots] = np.where(ok_old >= 0, ok_old, -1)
+        wave_barrier(mu_row, mu_col, psi_row, psi_col, ac, ap)
     return thread_work
 
 

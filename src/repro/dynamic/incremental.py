@@ -28,7 +28,7 @@ start — the whole algorithm registry (``g-pr``, ``pr``, ``hk``, ``p-dbfs``,
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 import numpy as np
 

@@ -22,7 +22,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, TextIO
+from collections.abc import Iterable, Iterator
+from typing import TextIO
 
 __all__ = [
     "UPDATE_OPS",
@@ -115,7 +116,7 @@ def read_update_trace(source: str | Path | TextIO) -> Iterator[GraphUpdate]:
     ``ValueError`` naming the offending line.
     """
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as handle:
+        with open(source, encoding="utf-8") as handle:
             yield from _read_lines(handle, str(source))
     else:
         yield from _read_lines(source, getattr(source, "name", "<trace>"))

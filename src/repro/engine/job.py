@@ -15,7 +15,8 @@ backwards compatibility.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.graph.bipartite import BipartiteGraph
 

@@ -19,7 +19,9 @@ class DeviceArray:
     __slots__ = ("data", "name")
 
     def __init__(self, data: np.ndarray, name: str = "array") -> None:
-        self.data = np.asarray(data)
+        # Keep ndarray *instances* as-is (np.asarray would strip subclasses,
+        # which shadow-access mode relies on to record kernel accesses).
+        self.data = data if isinstance(data, np.ndarray) else np.asarray(data)
         self.name = name
 
     # Convenience pass-throughs so kernels can treat it mostly like ndarray.

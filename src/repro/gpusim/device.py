@@ -94,29 +94,41 @@ class VirtualGPU:
         When true, :meth:`to_device` / :meth:`to_host` copies are charged to
         the ledger (off by default: the paper's timings start with the graph
         resident on the device).
+    shadow:
+        Optional :class:`~repro.analysis.hazards.AccessLog`.  When set, the
+        device hands out shadow-recording views (see :meth:`shadow_wrap`)
+        and every :meth:`charge_kernel` closes a sanitizer segment, so the
+        unmodified kernel code records its per-wave read/write sets for the
+        race sanitizer.
     """
 
-    def __init__(self, spec: DeviceSpec | None = None, track_transfers: bool = False) -> None:
+    def __init__(
+        self,
+        spec: DeviceSpec | None = None,
+        track_transfers: bool = False,
+        shadow=None,
+    ) -> None:
         self.spec = spec or DeviceSpec()
         self.model = GpuCostModel(self.spec)
         self.ledger = CostLedger()
         self.track_transfers = track_transfers
+        self.shadow = shadow
 
     # ------------------------------------------------------------ memory ops
     def to_device(self, host_array: np.ndarray, name: str = "array") -> DeviceArray:
         """Copy a host array to the device."""
-        arr = DeviceArray(np.array(host_array, copy=True), name=name)
+        arr = DeviceArray(self.shadow_wrap(np.array(host_array, copy=True), name), name=name)
         if self.track_transfers:
             self.model.record_transfer(self.ledger, arr.nbytes)
         return arr
 
     def zeros(self, shape, dtype=np.int64, name: str = "zeros") -> DeviceArray:
         """Allocate a zero-filled device array (no transfer cost)."""
-        return DeviceArray(np.zeros(shape, dtype=dtype), name=name)
+        return DeviceArray(self.shadow_wrap(np.zeros(shape, dtype=dtype), name), name=name)
 
     def full(self, shape, value, dtype=np.int64, name: str = "full") -> DeviceArray:
         """Allocate a constant-filled device array (no transfer cost)."""
-        return DeviceArray(np.full(shape, value, dtype=dtype), name=name)
+        return DeviceArray(self.shadow_wrap(np.full(shape, value, dtype=dtype), name), name=name)
 
     def to_host(self, device_array: DeviceArray) -> np.ndarray:
         """Copy a device array back to the host."""
@@ -132,8 +144,43 @@ class VirtualGPU:
         ``np.full(n_threads, w)``), or a vector with one entry per logical
         thread.  The vectorised kernels in :mod:`repro.core.kernels` compute
         these vectors exactly (scanned adjacency entries per thread).
+
+        Under shadow mode the charge also closes the sanitizer segment: the
+        repo convention is charge-after-access, so everything recorded since
+        the previous charge is attributed to this kernel, and the launch
+        boundary acts as a device-wide barrier.
         """
+        if self.shadow is not None:
+            self.shadow.close_segment(name)
         self.model.record(self.ledger, name, np.asarray(thread_work, dtype=np.float64))
+
+    # ------------------------------------------------------------ shadow mode
+    def shadow_wrap(self, array, name: str = "array"):
+        """Register ``array`` with the sanitizer, if shadow mode is on.
+
+        Returns a recording :class:`~repro.analysis.hazards.ShadowArray` view
+        sharing the buffer; without shadow mode this is a no-op returning the
+        plain ndarray.  Accepts plain arrays and :class:`DeviceArray`.
+        """
+        # ndarray.data is the buffer memoryview — only unwrap DeviceArray-like
+        # containers, never arrays themselves.
+        data = array if isinstance(array, np.ndarray) else getattr(array, "data", array)
+        base = np.asarray(data)
+        if self.shadow is None:
+            return base
+        from repro.analysis.hazards import shadow_wrap
+
+        return shadow_wrap(base, name, self.shadow)
+
+    def shadow_sync(self) -> None:
+        """Declare a host-side synchronisation point to the sanitizer.
+
+        Call this where sequential host code between two charges rewrites
+        device arrays (e.g. the auction ε-reset): the host is not a wave, so
+        its writes must not be confused with intra-wave conflicts.
+        """
+        if self.shadow is not None:
+            self.shadow.wave_barrier()
 
     # ------------------------------------------------------------------ misc
     @property

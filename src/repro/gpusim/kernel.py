@@ -25,11 +25,32 @@ Two engines model the behaviour of a lock- and atomic-free CUDA launch:
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
-__all__ = ["launch_serialized"]
+__all__ = ["launch_serialized", "wave_barrier"]
+
+
+def wave_barrier(*arrays) -> None:
+    """Mark a resident-wave boundary for the race sanitizer.
+
+    The lockstep engines process launches wider than the device in *waves*
+    of resident threads; writes of an earlier wave are legitimately visible
+    to later waves and must not be reported as intra-wave hazards.  Kernels
+    call this at the end of each wave iteration with the arrays they touch.
+    A no-op (zero cost, no effect on results) unless the arrays are
+    shadow-recording views handed out by ``VirtualGPU(shadow=...)``.
+    """
+    seen: list = []
+    for arr in arrays:
+        # ndarray.data is the buffer memoryview — only unwrap DeviceArray-like
+        # containers, never arrays themselves.
+        data = arr if isinstance(arr, np.ndarray) else getattr(arr, "data", arr)
+        log = getattr(data, "shadow_log", None)
+        if log is not None and not any(log is s for s in seen):
+            seen.append(log)
+            log.wave_barrier()
 
 
 def launch_serialized(

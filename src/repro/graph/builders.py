@@ -7,7 +7,7 @@ the same edge set produce bit-identical arrays.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

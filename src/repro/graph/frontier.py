@@ -301,6 +301,7 @@ def alternating_level_bfs(
             lptr, lind, lmatch = scalars
             hit = False
             nxt: list[int] = []
+            # hot-path
             for v in frontier.tolist():
                 begin, stop = lptr[v], lptr[v + 1]
                 edges += stop - begin
@@ -311,6 +312,7 @@ def alternating_level_bfs(
                     elif level[w] == _INF:
                         level[w] = depth + 1
                         nxt.append(w)
+            # end hot-path
             if hit:
                 shortest = depth + 1
             next_cols = np.array(nxt, dtype=np.int64)
@@ -409,6 +411,7 @@ def claiming_bfs(
     queue: deque[int] = deque([start])
     work = 0
     atomics = 0
+    # hot-path
     while queue:
         v = queue.popleft()
         begin, stop = col_ptr[v], col_ptr[v + 1]
@@ -442,4 +445,5 @@ def claiming_bfs(
             if w not in parent_col:
                 parent_col[w] = u
                 queue.append(w)
+    # end hot-path
     return None, 1.0 + work, atomics

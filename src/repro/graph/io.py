@@ -29,7 +29,8 @@ import gzip
 import hashlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, TextIO
+from collections.abc import Iterable, Iterator
+from typing import TextIO
 
 import numpy as np
 
@@ -256,7 +257,7 @@ class MatrixMarketStream:
         rows = np.empty(n, dtype=np.int64)
         cols = np.empty(n, dtype=np.int64)
         values = np.empty(n, dtype=np.float64) if self._with_values else None
-        for k, (line, lineno) in enumerate(zip(lines, linenos)):
+        for k, (line, lineno) in enumerate(zip(lines, linenos, strict=True)):
             tokens = line.split()
             if len(tokens) < 2:
                 raise ValueError(
@@ -485,13 +486,13 @@ class MatrixMarketStreamWriter:
                 raise ValueError("values must match rows/cols in length")
             lines = "\n".join(
                 f"{u} {v} {w:.17g}"
-                for u, v, w in zip((rows + 1).tolist(), (cols + 1).tolist(), values.tolist())
+                for u, v, w in zip((rows + 1).tolist(), (cols + 1).tolist(), values.tolist(), strict=True)
             )
         else:
             if values is not None:
                 raise ValueError("a 'pattern' writer takes no values")
             lines = "\n".join(
-                f"{u} {v}" for u, v in zip((rows + 1).tolist(), (cols + 1).tolist())
+                f"{u} {v}" for u, v in zip((rows + 1).tolist(), (cols + 1).tolist(), strict=True)
             )
         if lines:
             self._handle.write(lines)

@@ -14,7 +14,7 @@ proven unmatchable; :meth:`Matching.canonical` normalises those back to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

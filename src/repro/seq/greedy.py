@@ -47,6 +47,7 @@ def cheap_matching(graph: BipartiteGraph, seed: int | None = None) -> MatchingRe
     row_match = [unmatched] * graph.n_rows
     col_match = [unmatched] * graph.n_cols
     edges_scanned = 0
+    # hot-path
     for v in order:
         stop = col_ptr[v + 1]
         for idx in range(col_ptr[v], stop):
@@ -56,6 +57,7 @@ def cheap_matching(graph: BipartiteGraph, seed: int | None = None) -> MatchingRe
                 row_match[u] = v
                 col_match[v] = u
                 break
+    # end hot-path
     matching = Matching(
         np.array(row_match, dtype=np.int64), np.array(col_match, dtype=np.int64)
     )

@@ -68,6 +68,7 @@ def _augment_phase(
     inf = _INF
     augmented = 0
     edges = 0
+    # hot-path
     for start in roots:
         # Stack of (column, next neighbour offset); path_rows[i] is the row
         # taken out of stack[i].
@@ -137,6 +138,7 @@ def _augment_phase(
                 stack.pop()
                 if path_rows:
                     path_rows.pop()
+    # end hot-path
     return augmented, edges
 
 

@@ -47,6 +47,7 @@ def _pfp_phase(
     augmentations = 0
     lookahead_hits = 0
     edges = 0
+    # hot-path
     for start in range(n_cols):
         if col_match[start] != unmatched:
             continue
@@ -117,6 +118,7 @@ def _pfp_phase(
                 stack.pop()
                 if path_rows:
                     path_rows.pop()
+    # end hot-path
     return augmentations, lookahead_hits, edges, round_id
 
 

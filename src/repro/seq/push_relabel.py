@@ -166,6 +166,7 @@ def push_relabel_matching(
     pushes_since_relabel = 0
     edges_scanned = 0
 
+    # hot-path
     while active:
         v = active.popleft()
         if col_match[v] >= 0:
@@ -248,6 +249,7 @@ def push_relabel_matching(
             active = deque(
                 c for c in range(n) if col_match[c] == UNMATCHED and psi_col[c] < infinity
             )
+    # end hot-path
 
     counters["edges_scanned"] += edges_scanned
     wall = time.perf_counter() - t0

@@ -462,7 +462,7 @@ class MatchingServer:
 
         pending: list[tuple[Any, Any]] = []  # (request, handle)
         by_handle: dict[int, Any] = {}
-        for request, job in zip(requests, jobs):
+        for request, job in zip(requests, jobs, strict=True):
             # Admission is per job: overflow is shed as a row, siblings run.
             try:
                 ticket = self.admission.try_admit(request.tenant)

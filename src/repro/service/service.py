@@ -21,7 +21,7 @@ intra-batch deduplication, accounting — and delegates all execution to a
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.engine import Engine, ExecutionBackend, JobStatus
 from repro.engine.execution import execute_job, resolve_job_plan
@@ -185,7 +185,7 @@ class MatchingService:
 
         n_deduplicated = 0
         n_failed = 0
-        for (key, _), handle in zip(representatives, handles):
+        for (key, _), handle in zip(representatives, handles, strict=True):
             ok = handle.status is JobStatus.OK
             result = handle.result() if ok else None
             if ok and self.cache is not None and key not in uncacheable_keys:

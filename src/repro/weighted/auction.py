@@ -215,12 +215,22 @@ def weighted_auction_matching(
     person_match[n_rows + isolated_cols] = isolated_cols
     object_match[isolated_cols] = n_rows + isolated_cols
     pinned = person_match >= 0
+    if device is not None:
+        # Under shadow-access mode these become recording views (same buffer).
+        prices = device.shadow_wrap(prices, "prices")
+        person_match = device.shadow_wrap(person_match, "person_match")
+        object_match = device.shadow_wrap(object_match, "object_match")
 
     while True:
         counters["scaling_rounds"] += 1
         # Reset the assignment (keep prices) for this ε level.
         person_match[~pinned] = -1
         object_match.fill(-1)
+        if device is not None:
+            # The ε-reset is sequential host code between two launches; the
+            # sync separates the fill from the re-seeding write below so the
+            # sanitizer does not mistake them for one conflicting wave.
+            device.shadow_sync()
         object_match[person_match[pinned]] = np.flatnonzero(pinned)
         while True:
             free = np.flatnonzero(person_match < 0)
@@ -260,14 +270,17 @@ def weighted_auction_matching(
             winners_idx = order[lead]
             win_obj = best_obj[winners_idx]
             win_person = free[winners_idx]
-            if device is not None:
-                device.charge_kernel("auction_assign", np.ones(len(free)))
             # Unseat previous holders, then record the new assignments.
             prev = object_match[win_obj]
             person_match[prev[prev >= 0]] = -1
             prices[win_obj] = bids[winners_idx]
             object_match[win_obj] = win_person
             person_match[win_person] = win_obj
+            # Charge-after-access: the assign launch covers the writes above
+            # (same charge value and order as before — only the call site
+            # moved past the accesses it accounts for).
+            if device is not None:
+                device.charge_kernel("auction_assign", np.ones(len(free)))
         if epsilon <= final_eps:
             break
         epsilon = max(final_eps, epsilon / cfg.scaling_factor)
@@ -276,9 +289,9 @@ def weighted_auction_matching(
         objective=cfg.objective,
         epsilon=float(final_eps),
         person_profits=w_aug[assigned_edge_indices(ptr, objs, person_match)]
-        - prices[person_match],
-        object_prices=prices,
-        person_match=person_match,
+        - prices[np.asarray(person_match)],
+        object_prices=np.asarray(prices),
+        person_match=np.asarray(person_match),
     )
     row_match = np.where(person_match[:n_rows] < n_cols, person_match[:n_rows], UNMATCHED)
     col_match = np.full(n_cols, UNMATCHED, dtype=np.int64)

@@ -83,7 +83,7 @@ def test_backend_parity(backend, parity_jobs, inline_reference):
     with Engine(backend=BACKEND_FACTORIES[backend](), own_backend=True) as engine:
         handles = engine.map(parity_jobs)
         results = [handle.result() for handle in handles]
-    for result, reference in zip(results, inline_reference):
+    for result, reference in zip(results, inline_reference, strict=True):
         assert result.cardinality == reference.cardinality
         assert np.array_equal(result.matching.row_match, reference.matching.row_match)
         assert np.array_equal(result.matching.col_match, reference.matching.col_match)
@@ -352,7 +352,28 @@ def test_suite_runner_backend_parity():
         threaded = threaded_runner.run()
     finally:
         threaded_runner.close()
-    for a, b in zip(inline, threaded):
+    for a, b in zip(inline, threaded, strict=True):
         for name in a.runs:
             assert a.runs[name].cardinality == b.runs[name].cardinality
             assert a.runs[name].modeled_seconds == pytest.approx(b.runs[name].modeled_seconds)
+
+
+def test_jobs_submitted_is_exact_under_concurrent_submission(family_graphs):
+    """Regression (RPR003): ``jobs_submitted`` is incremented under the
+    in-flight lock, so racing submitters cannot lose counts."""
+    g = family_graphs[0]
+    per_thread, n_threads = 25, 8
+    with Engine(backend=ThreadBackend(max_workers=4), own_backend=True) as engine:
+        start = threading.Barrier(n_threads)
+
+        def hammer():
+            start.wait()
+            for _ in range(per_thread):
+                engine.submit(MatchingJob(graph=g, algorithm="cheap"))
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert engine.jobs_submitted == per_thread * n_threads

@@ -216,7 +216,7 @@ def test_worker_pool_agrees_with_inline(small_graphs):
     with MatchingService(workers=2, cache=False) as pooled_service:
         pooled = pooled_service.submit_batch(jobs)
     assert pooled.cardinalities() == inline.cardinalities()
-    for a, b in zip(pooled.results, inline.results):
+    for a, b in zip(pooled.results, inline.results, strict=True):
         assert np.array_equal(a.result.matching.row_match, b.result.matching.row_match)
     assert {r.worker for r in pooled.results} == {"process"}
     # The persistent pool measures each job where it ran: per-job timings,
