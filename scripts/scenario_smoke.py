@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""End-to-end scenario gate: the CI ``scenario-smoke`` job.
+
+Replays a packaged capacitated dispatch scenario through the exact path a
+user takes — ``repro stream --scenario NAME`` — then independently rebuilds
+the post-churn graph and cross-checks the stream's final cardinality
+against the Edmonds–Karp max-flow oracle in ``tests/oracle.py``.  The
+oracle shares no code with the solvers, the matcher or the CLI, so a bug
+anywhere in that stack (solver, incremental repair, update replay,
+serialisation) breaks the agreement instead of greening the job.
+
+The replay runs twice, on two different engine backends, and the two JSONL
+outputs must be byte-identical: stream rows carry no backend, worker or
+wall-clock fields precisely so that this holds.
+
+Example (the CI invocation)::
+
+    python scripts/scenario_smoke.py --scenario ride-hailing --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from oracle import max_b_matching_cardinality  # noqa: E402
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario", default="ride-hailing",
+        help="scenario name from repro.generators.scenarios",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="scenario seed")
+    parser.add_argument(
+        "--batch-size", type=int, default=40,
+        help="updates applied per stream batch",
+    )
+    parser.add_argument(
+        "--backends", nargs=2, default=("inline", "thread"),
+        metavar=("A", "B"),
+        help="the two engine backends whose replays must agree byte for byte",
+    )
+    return parser.parse_args(argv)
+
+
+def _replay(scenario: str, seed: int, batch_size: int, backend: str) -> str:
+    from repro import cli
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        rc = cli.main(
+            [
+                "stream",
+                "--scenario", scenario,
+                "--seed", str(seed),
+                "--batch-size", str(batch_size),
+                "--backend", backend,
+            ]
+        )
+    if rc != 0:
+        print(f"scenario-smoke: FAIL — stream exited {rc} on {backend}",
+              file=sys.stderr)
+        raise SystemExit(rc or 1)
+    return out.getvalue()
+
+
+def _final_snapshot(scenario: str, seed: int):
+    """The post-churn graph, rebuilt independently of the stream run."""
+    from repro.dynamic import DynamicBipartiteGraph
+    from repro.generators import generate_scenario
+
+    recipe = generate_scenario(scenario, seed=seed)
+    dyn = DynamicBipartiteGraph(recipe.graph)
+    for update in recipe.updates:
+        dyn.apply(update)
+    return recipe, dyn.snapshot()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    first, second = args.backends
+
+    output = _replay(args.scenario, args.seed, args.batch_size, first)
+    replayed = _replay(args.scenario, args.seed, args.batch_size, second)
+    if replayed != output:
+        print(
+            f"scenario-smoke: FAIL — {first} and {second} replays of "
+            f"{args.scenario!r} (seed {args.seed}) are not byte-identical",
+            file=sys.stderr,
+        )
+        return 1
+
+    events = [json.loads(line) for line in output.splitlines() if line]
+    summary = events[-1]
+    recipe, snapshot = _final_snapshot(args.scenario, args.seed)
+    reference = max_b_matching_cardinality(snapshot)
+
+    verdict = {
+        "scenario": args.scenario,
+        "seed": args.seed,
+        "updates": summary.get("updates"),
+        "cardinality": summary.get("cardinality"),
+        "oracle_cardinality": reference,
+        "assignment_rate": summary.get("assignment_rate"),
+        "slo": summary.get("slo"),
+        "slo_met": summary.get("slo_met"),
+        "backends": [first, second],
+    }
+    print(f"scenario-smoke: {json.dumps(verdict)}", flush=True)
+
+    if summary.get("type") != "summary" or summary.get("updates") != len(recipe.updates):
+        print("scenario-smoke: FAIL — malformed or truncated replay", file=sys.stderr)
+        return 1
+    if summary.get("cardinality") != reference:
+        print(
+            f"scenario-smoke: FAIL — stream finished at cardinality "
+            f"{summary.get('cardinality')} but the flow oracle says the "
+            f"maximum b-matching of the post-churn graph is {reference}",
+            file=sys.stderr,
+        )
+        return 1
+    if summary.get("slo_met") is not True:
+        print(
+            f"scenario-smoke: FAIL — final assignment rate "
+            f"{summary.get('assignment_rate')} misses the "
+            f"{summary.get('slo')} SLO",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"scenario-smoke: OK — {summary['updates']} updates replayed, "
+        f"cardinality {reference} oracle-confirmed, SLO met",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

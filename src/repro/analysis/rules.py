@@ -55,6 +55,7 @@ _DETERMINISM_PACKAGES = {
     "gpusim",
     "sharded",
     "dynamic",
+    "capacity",
 }
 _DETERMINISM_FILES = {("graph", "frontier.py"), ("engine", "faults.py")}
 

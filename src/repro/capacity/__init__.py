@@ -1,0 +1,33 @@
+"""Capacitated (b-matching) solvers and containers.
+
+Generalizes the library from 1-regular matchings to *b-matchings*: row ``u``
+may be matched to up to ``b_row[u]`` columns and column ``v`` to up to
+``b_col[v]`` rows.  Capacities live on :class:`repro.graph.bipartite.
+BipartiteGraph` (``with_capacities``); the solvers here are registered in
+:data:`repro.core.api.SPECS` as ``b-expand``, ``b-aug`` and ``b-auction``
+and flow through the ordinary pipeline (engine, service, server, CLI).  On
+capacity-free graphs every solver delegates to its uncapacitated
+counterpart and returns a bit-identical result.
+"""
+
+from repro.capacity.augment import capacitated_augment_matching
+from repro.capacity.auction import capacitated_auction_matching
+from repro.capacity.expand import build_expansion, capacitated_expand_matching
+from repro.capacity.matching import CapacitatedMatching, effective_capacities
+from repro.capacity.verify import (
+    assignment_demand,
+    b_matching_weight,
+    is_valid_b_matching,
+)
+
+__all__ = [
+    "CapacitatedMatching",
+    "assignment_demand",
+    "b_matching_weight",
+    "build_expansion",
+    "capacitated_augment_matching",
+    "capacitated_auction_matching",
+    "capacitated_expand_matching",
+    "effective_capacities",
+    "is_valid_b_matching",
+]

@@ -1,0 +1,61 @@
+"""Validity and weight checks for b-matchings.
+
+These are the capacitated counterparts of the uncapacitated invariant
+helpers the test-suite uses: a b-matching is *valid* when every selected
+pair is an edge of the graph, no edge is selected twice, and no vertex
+exceeds its capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.capacity.matching import CapacitatedMatching, effective_capacities
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["assignment_demand", "b_matching_weight", "is_valid_b_matching"]
+
+
+def is_valid_b_matching(graph: BipartiteGraph, matching: CapacitatedMatching) -> bool:
+    """Whether ``matching`` is a valid b-matching of ``graph``.
+
+    Checks shape compatibility, that every selected pair is an edge of the
+    graph, and that per-vertex loads respect the (effective) capacities.
+    Duplicate edges are rejected by the container itself.
+    """
+    try:
+        matching.check_compatible(graph, context="b-matching")
+    except ValueError:
+        return False
+    for u, v in matching.pairs():
+        if not graph.has_edge(u, v):
+            return False
+    b_row, b_col = effective_capacities(graph)
+    if np.any(matching.row_loads() > b_row):
+        return False
+    if np.any(matching.col_loads() > b_col):
+        return False
+    return True
+
+
+def b_matching_weight(graph: BipartiteGraph, matching: CapacitatedMatching) -> float:
+    """Total edge weight of ``matching`` on ``graph`` (unit weights if none)."""
+    if not graph.has_weights:
+        return float(matching.cardinality)
+    return float(sum(graph.edge_weight(u, v) for u, v in matching.pairs()))
+
+
+def assignment_demand(graph: BipartiteGraph) -> int:
+    """Serviceable demand: the smaller side's total capacity, isolated
+    vertices excluded.
+
+    A vertex with no edges can never be assigned, so it contributes no
+    demand — this is what makes the streaming assignment rate
+    (``cardinality / demand``) meaningful under vertex retirement, where
+    departed vertices stay behind as isolated indices.  Unit capacities are
+    assumed where the graph carries none.
+    """
+    b_row, b_col = effective_capacities(graph)
+    row_deg = np.asarray(graph.row_degrees)
+    col_deg = np.asarray(graph.col_degrees)
+    return int(min(b_row[row_deg > 0].sum(), b_col[col_deg > 0].sum()))

@@ -37,6 +37,13 @@ matchings; ``--objective min`` minimises instead)::
     python -m repro.cli run --graph roadNet-PA --algorithm weighted-sap \
         --weights uniform:1:100 --objective max
 
+Solve a capacitated b-matching (per-vertex capacities via a capacity
+spec), or replay a packaged dispatch scenario end to end with its SLO::
+
+    python -m repro.cli run --graph roadNet-PA --algorithm b-aug \
+        --capacities rows:3
+    python -m repro.cli stream --scenario ride-hailing --seed 7
+
 See ``docs/cli.md`` for the full flag reference and ``docs/formats.md``
 for the manifest / trace / Matrix-Market formats.
 """
@@ -51,10 +58,13 @@ from pathlib import Path
 from repro.bench import perfbaseline
 from repro.bench.harness import SuiteRunner, modeled_seconds_for
 from repro.bench.reports import build_figure1, build_figure2, build_figure3, build_figure4, build_table1, render_table
+from repro.capacity import assignment_demand
 from repro.core.api import SPECS, resolve_algorithm
 from repro.dynamic import IncrementalMatcher, read_update_trace
 from repro.engine import BACKEND_NAMES, Engine, FaultSchedule, JobError
 from repro.engine.execution import validate_job_args
+from repro.generators.capacities import apply_capacity_spec, parse_capacity_spec
+from repro.generators.scenarios import generate_scenario, scenario_names
 from repro.generators.suite import SCALE_PROFILES, SUITE_SPECS, generate_instance, instance_names
 from repro.generators.updates import random_update_trace
 from repro.generators.weights import apply_weight_spec, parse_weight_spec
@@ -74,6 +84,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             raise ValueError(
                 "sharded matching is cardinality-only; drop --weights or --shards"
             )
+        if args.capacities is not None:
+            parse_capacity_spec(args.capacities)
+            if args.shards is not None:
+                raise ValueError(
+                    "sharded matching is uncapacitated; drop --capacities or --shards"
+                )
+            spec_entry = SPECS.get(args.algorithm)
+            if spec_entry is not None and not spec_entry.capacitated:
+                raise ValueError(
+                    f"algorithm {args.algorithm!r} ignores vertex capacities; "
+                    "pick a capacitated algorithm (b-aug, b-expand, b-auction) "
+                    "or drop --capacities"
+                )
         kwargs = {"objective": args.objective} if args.objective else {}
         plan = resolve_algorithm(
             args.algorithm, shards=args.shards, partition=args.partition, **kwargs
@@ -92,6 +115,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             graph = generate_instance(args.graph, profile=args.profile, seed=args.seed)
         if args.weights is not None:
             graph = apply_weight_spec(graph, args.weights, seed=args.seed)
+        if args.capacities is not None:
+            graph = apply_capacity_spec(graph, args.capacities, seed=args.seed)
     except (KeyError, TypeError, ValueError, OSError) as exc:
         # KeyError covers an unknown suite instance from generate_instance.
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
@@ -111,6 +136,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if "total_weight" in result.counters:
         payload["total_weight"] = result.counters["total_weight"]
         payload["objective"] = result.counters["objective"]
+    if graph.has_capacities:
+        demand = assignment_demand(graph)
+        payload["demand"] = demand
+        payload["assignment_rate"] = round(
+            result.cardinality / demand if demand else 1.0, 4
+        )
     if args.shards is not None:
         payload["shards"] = result.counters["shards"]
         payload["partition"] = plan.partition_method
@@ -138,16 +169,22 @@ def _load_manifest(
     default_objective: str | None = None,
     default_shards: int | None = None,
     default_partition: str | None = None,
+    default_capacities: str | None = None,
 ) -> list[MatchingJob]:
     """Parse a JSONL job manifest into :class:`MatchingJob` objects.
 
     Each line is an object with a ``graph`` (suite instance name or id) or
     ``mtx`` (Matrix-Market path), plus optional ``algorithm``, ``kwargs``,
     ``initial``, ``profile``, ``seed``, ``weights``, ``objective``,
-    ``shards``, ``partition`` and ``id`` fields.  ``shards`` / ``partition``
-    fold into the job's kwargs exactly like ``objective`` does (the
-    CLI-level defaults only apply to algorithms that can run sharded, so a
-    mixed manifest stays valid).  ``weights`` is a weight-spec string (see
+    ``shards``, ``partition``, ``capacities`` and ``id`` fields.  ``shards``
+    / ``partition`` fold into the job's kwargs exactly like ``objective``
+    does (the CLI-level defaults only apply to algorithms that can run
+    sharded, so a mixed manifest stays valid).  ``capacities`` is a
+    capacity-spec string (see :func:`repro.generators.capacities.
+    apply_capacity_spec`) layered onto the graph; it requires a capacitated
+    algorithm, and the CLI-level default only reaches those, so a manifest
+    mixing capacitated and plain jobs stays valid.  ``weights`` is a
+    weight-spec string (see
     :func:`repro.generators.weights.apply_weight_spec`; ``"values"`` reads a
     Matrix-Market file's value entries) and ``objective`` is folded into the
     job's kwargs for the weighted algorithms.  Every line is parsed and
@@ -220,6 +257,28 @@ def _load_manifest(
                     f"{path}:{lineno}: weight spec 'values' needs an 'mtx' source "
                     "(suite instances carry no value entries)"
                 )
+        # Capacities layer onto the graph (not the kwargs), so they gate on
+        # the capacitated algorithms: a cardinality solver silently ignoring
+        # a requested capacity pattern would be a wrong answer, not a run.
+        capacitated_default_applies = spec_entry is not None and spec_entry.capacitated
+        capacities = entry.get(
+            "capacities", default_capacities if capacitated_default_applies else None
+        )
+        if capacities is not None:
+            if not isinstance(capacities, str):
+                raise ValueError(
+                    f"{path}:{lineno}: 'capacities' must be a capacity-spec string"
+                )
+            try:
+                parse_capacity_spec(capacities)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+            if spec_entry is not None and not spec_entry.capacitated:
+                raise ValueError(
+                    f"{path}:{lineno}: algorithm {algorithm!r} ignores vertex "
+                    "capacities; pick b-aug, b-expand or b-auction, or drop "
+                    "'capacities'"
+                )
         kwargs = dict(entry.get("kwargs", {}))
         objective = entry.get("objective")
         if objective is None and default_objective is not None and weighted_default_applies:
@@ -259,7 +318,7 @@ def _load_manifest(
         if "mtx" in entry:
             # The seed only matters when a weight spec draws random weights.
             weight_seed = seed if weights is not None and weights_kind != "values" else None
-            source = ("mtx", entry["mtx"], weights, weight_seed)
+            source = ("mtx", entry["mtx"], weights, weight_seed, capacities, seed)
             if not isinstance(entry["mtx"], str) or not Path(entry["mtx"]).is_file():
                 raise ValueError(f"{path}:{lineno}: no such Matrix-Market file {entry['mtx']!r}")
         else:
@@ -270,8 +329,10 @@ def _load_manifest(
                     f"{path}:{lineno}: unknown suite instance {ref!r} "
                     f"(see `repro.cli list` for the available names)"
                 )
-            source = ("suite", ref, profile, seed, weights)
-        entries.append((lineno, entry, source, kwargs, weights, weights_kind, seed))
+            source = ("suite", ref, profile, seed, weights, capacities)
+        entries.append(
+            (lineno, entry, source, kwargs, weights, weights_kind, capacities, seed)
+        )
     # Phase 2: build graphs and jobs.  Memoization is two-level: the
     # structural graph is generated once per (source, profile, seed) — a
     # manifest sweeping one instance over several weight specs pays for
@@ -279,7 +340,7 @@ def _load_manifest(
     structural: dict[tuple, object] = {}
     graphs: dict[tuple, object] = {}
     jobs: list[MatchingJob] = []
-    for lineno, entry, source, kwargs, weights, weights_kind, seed in entries:
+    for lineno, entry, source, kwargs, weights, weights_kind, capacities, seed in entries:
         try:
             if source not in graphs:
                 if source[0] == "mtx":
@@ -297,6 +358,8 @@ def _load_manifest(
                 graph = structural[base_key]
                 if weights is not None:
                     graph = apply_weight_spec(graph, weights, seed=seed)
+                if capacities is not None:
+                    graph = apply_capacity_spec(graph, capacities, seed=seed)
                 graphs[source] = graph
             jobs.append(
                 MatchingJob(
@@ -348,7 +411,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     try:
         jobs = _load_manifest(
             args.manifest, args.profile, args.seed, args.weights, args.objective,
-            args.shards, args.partition,
+            args.shards, args.partition, args.capacities,
         )
     except (TypeError, ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -402,31 +465,77 @@ def _chunked(items: list, size: int):
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    if (args.trace is None) == (args.synthesize is None):
-        print("error: pass exactly one of --trace or --synthesize", file=sys.stderr)
-        return 2
-    try:
-        if args.mtx:
-            graph = read_matrix_market(args.mtx)
-        else:
-            graph = generate_instance(args.graph, profile=args.profile, seed=args.seed)
-    except (KeyError, ValueError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    try:
-        if args.trace is not None:
-            source = sys.stdin if args.trace == "-" else args.trace
-            updates = list(read_update_trace(source))
-        else:
-            updates = random_update_trace(
-                graph,
-                args.synthesize,
-                insert_fraction=args.insert_fraction,
-                seed=args.seed,
+    scenario = None
+    if args.scenario is not None:
+        conflicts = [
+            flag
+            for flag, value in (
+                ("--trace", args.trace),
+                ("--synthesize", args.synthesize),
+                ("--mtx", args.mtx),
+                ("--capacities", args.capacities),
             )
-    except (ValueError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+            if value is not None
+        ]
+        if conflicts:
+            print(
+                "error: --scenario provides the graph, capacities and trace; "
+                f"drop {', '.join(conflicts)}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            scenario = generate_scenario(args.scenario, seed=args.seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        graph = scenario.graph
+        updates = list(scenario.updates)
+    else:
+        if (args.trace is None) == (args.synthesize is None):
+            print("error: pass exactly one of --trace or --synthesize", file=sys.stderr)
+            return 2
+        try:
+            if args.mtx:
+                graph = read_matrix_market(args.mtx)
+            else:
+                graph = generate_instance(args.graph, profile=args.profile, seed=args.seed)
+            if args.capacities is not None:
+                graph = apply_capacity_spec(graph, args.capacities, seed=args.seed)
+        except (KeyError, ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            if args.trace is not None:
+                source = sys.stdin if args.trace == "-" else args.trace
+                updates = list(read_update_trace(source))
+            else:
+                updates = random_update_trace(
+                    graph,
+                    args.synthesize,
+                    insert_fraction=args.insert_fraction,
+                    seed=args.seed,
+                )
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    # Pick the repair backend to fit the graph: capacitated and/or weighted
+    # graphs need a plan that maintains the matching invariant they define
+    # (scenarios name their own solver).
+    algorithm = args.algorithm
+    if algorithm is None:
+        if scenario is not None:
+            algorithm = scenario.algorithm
+        elif graph.has_capacities and graph.has_weights:
+            algorithm = "b-auction"
+        elif graph.has_capacities:
+            algorithm = "b-aug"
+        elif graph.has_weights:
+            algorithm = "weighted-sap"
+        else:
+            algorithm = "hk"
+    slo = args.slo if args.slo is not None else (scenario.slo if scenario else None)
 
     rows: list[dict] = []
 
@@ -437,12 +546,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             print(json.dumps(row))
 
     try:
-        plan = resolve_algorithm(args.algorithm)
+        plan = resolve_algorithm(algorithm)
         with Engine(backend=args.backend or "inline", max_workers=args.workers or None) as engine:
             # Delegated batch repairs run as engine jobs, so --backend moves
             # the recompute onto a thread / process / device pool.
             def recompute(snapshot, initial):
-                job = MatchingJob(graph=snapshot, algorithm=args.algorithm)
+                job = MatchingJob(graph=snapshot, algorithm=algorithm)
                 return engine.run(job, plan=plan, initial_matching=initial)
 
             matcher = IncrementalMatcher(
@@ -451,50 +560,68 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 batch_threshold=args.threshold,
                 recompute=recompute,
             )
-            emit(
-                {
-                    "type": "initial",
-                    "graph": graph.name,
-                    "n_rows": graph.n_rows,
-                    "n_cols": graph.n_cols,
-                    "n_edges": graph.n_edges,
-                    "algorithm": plan.algorithm,
-                    "cardinality": matcher.cardinality,
-                }
-            )
+            initial_row = {
+                "type": "initial",
+                "graph": graph.name,
+                "n_rows": graph.n_rows,
+                "n_cols": graph.n_cols,
+                "n_edges": graph.n_edges,
+                "algorithm": plan.algorithm,
+                "cardinality": matcher.cardinality,
+            }
+            if scenario is not None:
+                initial_row["scenario"] = scenario.name
+            if slo is not None:
+                initial_row["slo"] = slo
+            emit(initial_row)
             for index, batch in enumerate(_chunked(updates, max(1, args.batch_size))):
                 before_scanned = matcher.counters["edges_scanned"]
                 before_delegate = matcher.counters["delegate_edges_scanned"]
                 summary = matcher.apply(batch)
-                emit(
-                    {
-                        "type": "batch",
-                        "index": index,
-                        "applied": summary["applied"],
-                        "mode": summary["mode"],
-                        "cardinality": summary["cardinality"],
-                        "edges_scanned": matcher.counters["edges_scanned"] - before_scanned,
-                        "delegate_edges_scanned": matcher.counters["delegate_edges_scanned"]
-                        - before_delegate,
-                    }
-                )
-            final = matcher.graph.snapshot()
-            emit(
-                {
-                    "type": "summary",
-                    "updates": len(updates),
-                    "cardinality": matcher.cardinality,
-                    "n_rows": final.n_rows,
-                    "n_cols": final.n_cols,
-                    "n_edges": final.n_edges,
-                    "searches": matcher.counters["searches"],
-                    "augmentations": matcher.counters["augmentations"],
-                    "edges_scanned": matcher.counters["edges_scanned"],
-                    "recomputes": matcher.counters["recomputes"],
-                    "delegate_edges_scanned": matcher.counters["delegate_edges_scanned"],
-                    "backend": engine.backend.name,
+                batch_row = {
+                    "type": "batch",
+                    "index": index,
+                    "applied": summary["applied"],
+                    "mode": summary["mode"],
+                    "cardinality": summary["cardinality"],
+                    "edges_scanned": matcher.counters["edges_scanned"] - before_scanned,
+                    "delegate_edges_scanned": matcher.counters["delegate_edges_scanned"]
+                    - before_delegate,
                 }
-            )
+                if slo is not None:
+                    # Per-window service check: the assignment rate over the
+                    # demand still in the (un-compacted) overlay.
+                    demand = assignment_demand(matcher.graph.snapshot())
+                    rate = round(
+                        summary["cardinality"] / demand if demand else 1.0, 4
+                    )
+                    batch_row["assignment_rate"] = rate
+                    batch_row["slo_met"] = rate >= slo
+                emit(batch_row)
+            final = matcher.graph.snapshot()
+            demand = assignment_demand(final)
+            rate = round(matcher.cardinality / demand if demand else 1.0, 4)
+            # No backend field here: the same replay must serialise
+            # byte-identically whichever engine backend ran the recomputes.
+            summary_row = {
+                "type": "summary",
+                "updates": len(updates),
+                "cardinality": matcher.cardinality,
+                "n_rows": final.n_rows,
+                "n_cols": final.n_cols,
+                "n_edges": final.n_edges,
+                "demand": demand,
+                "assignment_rate": rate,
+                "searches": matcher.counters["searches"],
+                "augmentations": matcher.counters["augmentations"],
+                "edges_scanned": matcher.counters["edges_scanned"],
+                "recomputes": matcher.counters["recomputes"],
+                "delegate_edges_scanned": matcher.counters["delegate_edges_scanned"],
+            }
+            if slo is not None:
+                summary_row["slo"] = slo
+                summary_row["slo_met"] = rate >= slo
+            emit(summary_row)
     except (TypeError, ValueError, IndexError, TimeoutError, JobError) as exc:
         # JobError covers delegated recomputes failing at runtime on the
         # engine backend (failed / cancelled / timed-out jobs).
@@ -740,6 +867,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "rank[:NOISE], or values (use the .mtx value entries)")
     run.add_argument("--objective", default=None, choices=("max", "min"),
                      help="weighted objective (weighted-sap / weighted-auction only)")
+    run.add_argument("--capacities", default=None, metavar="SPEC",
+                     help="vertex-capacity spec for the capacitated algorithms: "
+                          "fixed[:B], uniform[:LOW:HIGH], rows[:B], cols[:B]")
     run.add_argument("--shards", type=int, default=None, metavar="N",
                      help="solve through the sharded subsystem with N column-block "
                           "shards; with --mtx the file streams out-of-core into "
@@ -769,6 +899,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default edge-weight spec for jobs without a 'weights' field")
     batch.add_argument("--objective", default=None, choices=("max", "min"),
                        help="default weighted objective for jobs without an 'objective' field")
+    batch.add_argument("--capacities", default=None, metavar="SPEC",
+                       help="default vertex-capacity spec for jobs without a "
+                            "'capacities' field (applies to capacitated algorithms only)")
     batch.add_argument("--shards", type=int, default=None, metavar="N",
                        help="default shard count for jobs without a 'shards' field "
                             "(applies to maximum-cardinality algorithms only)")
@@ -788,10 +921,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="path to a JSONL update trace ('-' for stdin)")
     stream.add_argument("--synthesize", type=int, default=None, metavar="N",
                         help="generate a seeded random trace of N updates instead of --trace")
+    stream.add_argument("--scenario", default=None, choices=scenario_names(),
+                        help="replay a packaged capacitated dispatch scenario "
+                             "(graph, churn trace and SLO) instead of --trace/--synthesize")
+    stream.add_argument("--capacities", default=None, metavar="SPEC",
+                        help="vertex-capacity spec layered onto --graph/--mtx: "
+                             "fixed[:B], uniform[:LOW:HIGH], rows[:B], cols[:B]")
+    stream.add_argument("--slo", type=float, default=None, metavar="RATE",
+                        help="assignment-rate target; batch and summary rows gain "
+                             "assignment_rate / slo_met (default: the scenario's SLO)")
     stream.add_argument("--insert-fraction", type=float, default=0.5,
                         help="insert share of a synthesized trace (rest are deletions)")
-    stream.add_argument("--algorithm", default="hk", choices=sorted(SPECS),
-                        help="batch-repair backend for delegated recomputes")
+    stream.add_argument("--algorithm", default=None, choices=sorted(SPECS),
+                        help="batch-repair backend for delegated recomputes (default: "
+                             "picked to fit the graph - hk, b-aug, b-auction or "
+                             "weighted-sap; scenarios name their own)")
     stream.add_argument("--batch-size", type=int, default=32,
                         help="updates applied (and reported) per batch")
     stream.add_argument("--threshold", type=int, default=64,

@@ -29,6 +29,9 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping
 from typing import Any
 
+from repro.capacity.augment import capacitated_augment_matching
+from repro.capacity.auction import capacitated_auction_matching
+from repro.capacity.expand import capacitated_expand_matching
 from repro.core.ghkdw import ghkdw_matching
 from repro.core.gpr import GPRConfig, GPRVariant, gpr_matching
 from repro.graph.bipartite import BipartiteGraph
@@ -90,6 +93,12 @@ class AlgorithmSpec:
         Whether the algorithm optimises edge weights (the
         :mod:`repro.weighted` solvers).  Weighted algorithms still return a
         maximum-cardinality matching on weightless graphs (unit weights).
+    capacitated:
+        Whether the algorithm honours per-vertex b-matching capacities (the
+        :mod:`repro.capacity` solvers).  Capacitated algorithms return a
+        :class:`repro.capacity.CapacitatedMatching` on capacitated graphs
+        and delegate to their uncapacitated counterpart (bit-identical
+        plain :class:`~repro.matching.Matching`) on capacity-free graphs.
     """
 
     name: str
@@ -102,6 +111,7 @@ class AlgorithmSpec:
     accepts_initial: bool = True
     entropy_seeded: bool = False
     weighted: bool = False
+    capacitated: bool = False
 
     def config_fields(self) -> frozenset[str]:
         """Config-dataclass fields settable through keyword arguments."""
@@ -229,6 +239,18 @@ def _run_weighted_auction(graph, initial, config, device, **_):
     return weighted_auction_matching(graph, config=config, device=device)
 
 
+def _run_b_expand(graph, initial, config, device, *, inner="hk"):
+    return capacitated_expand_matching(graph, inner=inner)
+
+
+def _run_b_aug(graph, initial, config, device, **_):
+    return capacitated_augment_matching(graph, initial=initial)
+
+
+def _run_b_auction(graph, initial, config, device, **_):
+    return capacitated_auction_matching(graph, config=config, device=device)
+
+
 def _gpr_spec(name: str, variant: GPRVariant) -> AlgorithmSpec:
     return AlgorithmSpec(
         name=name,
@@ -279,6 +301,30 @@ SPECS: dict[str, AlgorithmSpec] = {
             accepts_device=True,
             accepts_initial=False,
             weighted=True,
+        ),
+        # capacitated b-matching (per-vertex b_row / b_col capacities on the
+        # graph; each delegates to its uncapacitated counterpart when every
+        # capacity is 1, so capacity-free runs are bit-identical to it)
+        AlgorithmSpec(
+            name="b-expand",
+            runner=_run_b_expand,
+            extra_params=("inner",),
+            accepts_initial=False,
+            capacitated=True,
+        ),
+        AlgorithmSpec(
+            name="b-aug",
+            runner=_run_b_aug,
+            capacitated=True,
+        ),
+        AlgorithmSpec(
+            name="b-auction",
+            runner=_run_b_auction,
+            config_cls=AuctionConfig,
+            accepts_device=True,
+            accepts_initial=False,
+            weighted=True,
+            capacitated=True,
         ),
         # greedy heuristics (not maximum; exposed for initialisation studies)
         AlgorithmSpec(
@@ -334,7 +380,7 @@ def resolve_algorithm(
         :data:`repro.sharded.PARTITION_METHODS`; default ``"contiguous"``),
         each shard is solved with this algorithm, and boundary
         reconciliation restores global maximality.  Requires a
-        maximum-cardinality, non-weighted algorithm.
+        maximum-cardinality, non-weighted, uncapacitated algorithm.
     **kwargs:
         Config fields (e.g. ``strategy="fix:10"``, ``global_relabel_k=0.7``,
         ``n_threads=4``) or the algorithm's extra parameters (e.g.
@@ -367,10 +413,11 @@ def resolve_algorithm(
         shards = int(shards)
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
-        if not spec.maximum or spec.weighted:
+        if not spec.maximum or spec.weighted or spec.capacitated:
             raise TypeError(
                 f"algorithm {key!r} cannot run sharded: sharded matching "
-                "needs a maximum-cardinality, cardinality-only algorithm"
+                "needs a maximum-cardinality, cardinality-only, "
+                "uncapacitated algorithm"
             )
         from repro.sharded.partition import PARTITION_METHODS
 

@@ -18,12 +18,21 @@ repairs the previous maximum matching:
   maximality), so at most two targeted searches re-augment.
 * **Deleting an unmatched edge** (and adding an isolated vertex) cannot
   change the maximum cardinality — those updates are free.
+* **Vertex departure** (``retire_row`` / ``retire_col``) is a bounded
+  sequence of edge deletions, at most one of them matched.
 
 Past a configurable batch size, per-update repair loses to batch recompute,
 so :meth:`apply` compacts the overlay and delegates to any registered
 :class:`~repro.core.api.ExecutionPlan` with the surviving matching as warm
 start — the whole algorithm registry (``g-pr``, ``pr``, ``hk``, ``p-dbfs``,
 ...) becomes a repair backend for free.
+
+Weighted and capacitated plans (``weighted-sap``, ``b-aug``, ...) run in a
+*delegated-only* mode: the cardinality repairs above cannot preserve their
+stronger invariants, so every batch recomputes through the plan — with the
+surviving matching as warm start when the plan accepts one, and with pure
+vertex arrivals short-circuited (an isolated vertex never changes the
+optimum).
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from collections.abc import Callable, Iterable
 
 import numpy as np
 
+from repro.capacity.matching import CapacitatedMatching
 from repro.core.api import ExecutionPlan, resolve_algorithm
 from repro.dynamic.overlay import DynamicBipartiteGraph
 from repro.dynamic.updates import GraphUpdate
@@ -57,8 +67,11 @@ class IncrementalMatcher:
         validated with :meth:`Matching.check_compatible`.
     plan:
         The batch-repair backend: an algorithm name or a resolved
-        :class:`ExecutionPlan`.  Must be a maximum algorithm that accepts a
-        warm start.  Default ``"hk"``.
+        :class:`ExecutionPlan`.  Must be a maximum algorithm; cardinality
+        plans must also accept a warm start, while weighted / capacitated
+        plans (which run delegated-only) need not.  Weighted graphs require
+        a weighted plan and capacitated graphs a capacitated plan.  Default
+        ``"hk"``.
     batch_threshold:
         :meth:`apply` batches of at least this many updates compact the
         overlay and delegate to ``plan`` instead of repairing per update.
@@ -90,10 +103,36 @@ class IncrementalMatcher:
                 f"plan algorithm {plan.algorithm!r} is a heuristic; incremental repair "
                 "needs a maximum algorithm as its batch backend"
             )
-        if not plan.spec.accepts_initial:
+        snapshot = self.graph.snapshot()
+        if snapshot.has_weights and not plan.spec.weighted:
             raise ValueError(
-                f"plan algorithm {plan.algorithm!r} does not accept a warm start"
+                f"graph {snapshot.name!r} carries edge weights that plan "
+                f"algorithm {plan.algorithm!r} would silently ignore; pick a "
+                "weighted plan (e.g. 'weighted-sap', 'weighted-auction', "
+                "'b-auction') or strip the weights with "
+                "graph.with_weights(None)"
             )
+        if snapshot.has_capacities and not plan.spec.capacitated:
+            raise ValueError(
+                f"graph {snapshot.name!r} carries vertex capacities that plan "
+                f"algorithm {plan.algorithm!r} would silently ignore; pick a "
+                "capacitated plan (e.g. 'b-aug', 'b-expand', 'b-auction') or "
+                "strip them with graph.with_capacities(None, None)"
+            )
+        # Weighted and capacitated plans maintain their invariant (optimal
+        # weight / b-matching) that the per-update cardinality repairs
+        # cannot preserve, so every batch recomputes through the delegate.
+        self._delegated_only = plan.spec.weighted or plan.spec.capacitated
+        if not plan.spec.accepts_initial:
+            if not self._delegated_only:
+                raise ValueError(
+                    f"plan algorithm {plan.algorithm!r} does not accept a warm start"
+                )
+            if initial is not None:
+                raise ValueError(
+                    f"plan algorithm {plan.algorithm!r} does not accept a "
+                    "warm start; drop the initial matching"
+                )
         if batch_threshold < 1:
             raise ValueError("batch_threshold must be at least 1")
         self.plan = plan
@@ -109,25 +148,38 @@ class IncrementalMatcher:
             "initial_edges_scanned": 0,
         }
 
-        snapshot = self.graph.snapshot()
         if initial is not None:
             initial.check_compatible(snapshot, context="initial matching")
             initial = initial.canonical()
         result = self._run_delegate(snapshot, initial)
-        self._row_match = result.matching.row_match.copy()
-        self._col_match = result.matching.col_match.copy()
+        if self._delegated_only:
+            self._matching_obj = result.matching.copy()
+            self._row_match = self._col_match = None
+        else:
+            self._matching_obj = None
+            self._row_match = result.matching.row_match.copy()
+            self._col_match = result.matching.col_match.copy()
         self.counters["initial_edges_scanned"] = int(
             result.counters.get("edges_scanned", 0)
         )
 
     # ------------------------------------------------------------ properties
     @property
-    def matching(self) -> Matching:
-        """A copy of the current maximum matching."""
+    def matching(self) -> Matching | CapacitatedMatching:
+        """A copy of the current matching.
+
+        A :class:`Matching` for cardinality plans; weighted / capacitated
+        plans return whatever container their delegate produced (a
+        :class:`CapacitatedMatching` for the b-matching solvers).
+        """
+        if self._delegated_only:
+            return self._matching_obj.copy()
         return Matching(self._row_match.copy(), self._col_match.copy())
 
     @property
     def cardinality(self) -> int:
+        if self._delegated_only:
+            return int(self._matching_obj.cardinality)
         return int(np.count_nonzero(self._row_match >= 0))
 
     # --------------------------------------------------------------- updates
@@ -138,19 +190,24 @@ class IncrementalMatcher:
         and delegate to the registered plan with the surviving matching as
         warm start; smaller batches repair per update.
 
+        Weighted and capacitated plans are *delegated-only*: their invariant
+        (optimal weight / maximum b-matching) cannot be preserved by the
+        per-update cardinality repairs, so every batch — regardless of size
+        — compacts and recomputes through the plan (pure vertex arrivals
+        skip the recompute; an isolated vertex cannot change the optimum).
+
         Parameters
         ----------
         updates:
-            :class:`~repro.dynamic.updates.GraphUpdate` objects (ops
-            ``insert`` / ``delete`` / ``add_row`` / ``add_col``), applied in
-            order.
+            :class:`~repro.dynamic.updates.GraphUpdate` objects (any op in
+            :data:`~repro.dynamic.updates.UPDATE_OPS`), applied in order.
 
         Returns
         -------
         dict
             Summary with ``"applied"`` (update count), ``"mode"``
             (``"incremental"`` or ``"delegated"``) and ``"cardinality"``
-            (the maximum cardinality after the batch).
+            (the matching cardinality after the batch).
 
         Raises
         ------
@@ -161,6 +218,15 @@ class IncrementalMatcher:
             ``recompute`` routes through an :class:`~repro.engine.Engine`).
         """
         updates = list(updates)
+        if self._delegated_only:
+            if not updates:
+                return {
+                    "applied": 0,
+                    "mode": "delegated",
+                    "cardinality": self.cardinality,
+                    "changed": 0,
+                }
+            return self._apply_recompute(updates)
         if len(updates) >= self.batch_threshold:
             return self._apply_delegated(updates)
         for update in updates:
@@ -173,20 +239,29 @@ class IncrementalMatcher:
 
     def apply_update(self, update: GraphUpdate) -> bool:
         """Apply one update incrementally; returns whether the graph changed."""
+        if self._delegated_only:
+            return bool(self._apply_recompute([update])["changed"])
         self.counters["updates_applied"] += 1
         if update.op == "insert":
-            return self.insert_edge(update.u, update.v)
+            return self.insert_edge(update.u, update.v, weight=update.weight)
         if update.op == "delete":
             return self.delete_edge(update.u, update.v)
+        if update.op == "retire_row":
+            return self.retire_row(update.u)
+        if update.op == "retire_col":
+            return self.retire_col(update.v)
         if update.op == "add_row":
-            self.add_row()
+            self.add_row(b=update.b)
         else:
-            self.add_col()
+            self.add_col(b=update.b)
         return True
 
-    def insert_edge(self, u: int, v: int) -> bool:
+    def insert_edge(self, u: int, v: int, weight: float | None = None) -> bool:
         """Insert edge ``(u, v)`` and repair; at most one augmenting search."""
-        if not self.graph.insert_edge(u, v):
+        if self._delegated_only:
+            update = GraphUpdate.insert(u, v, weight=weight)
+            return bool(self._apply_recompute([update])["changed"])
+        if not self.graph.insert_edge(u, v, weight):
             return False
         row_free = self._row_match[u] < 0
         col_free = self._col_match[v] < 0
@@ -210,6 +285,9 @@ class IncrementalMatcher:
 
     def delete_edge(self, u: int, v: int) -> bool:
         """Delete edge ``(u, v)``; targeted re-augmentation if it was matched."""
+        if self._delegated_only:
+            update = GraphUpdate.delete(u, v)
+            return bool(self._apply_recompute([update])["changed"])
         if not self.graph.delete_edge(u, v):
             return False
         if self._row_match[u] == v:
@@ -221,16 +299,51 @@ class IncrementalMatcher:
                 self._augment_from_row(int(u))
         return True
 
-    def add_row(self) -> int:
-        """Append a row vertex; the matching is untouched (it starts isolated)."""
-        index = self.graph.add_row()
-        self._row_match = np.append(self._row_match, UNMATCHED)
+    def retire_row(self, u: int) -> bool:
+        """Vertex departure: drop every edge of row ``u``, repairing each.
+
+        At most one of the dropped edges was matched, so this costs the same
+        bounded repair as the individual deletions (the index stays valid
+        and isolated — see :mod:`repro.dynamic.updates`).
+        """
+        if self._delegated_only:
+            update = GraphUpdate.retire_row(u)
+            return bool(self._apply_recompute([update])["changed"])
+        changed = False
+        for v in self.graph.row_neighbors(u).tolist():
+            changed = self.delete_edge(u, int(v)) or changed
+        return changed
+
+    def retire_col(self, v: int) -> bool:
+        """Mirror of :meth:`retire_row` for a column vertex."""
+        if self._delegated_only:
+            update = GraphUpdate.retire_col(v)
+            return bool(self._apply_recompute([update])["changed"])
+        changed = False
+        for u in self.graph.column_neighbors(v).tolist():
+            changed = self.delete_edge(int(u), v) or changed
+        return changed
+
+    def add_row(self, b: int | None = None) -> int:
+        """Append a row vertex; the matching is untouched (it starts isolated).
+
+        ``b`` is the arriving vertex's capacity on a capacitated graph
+        (default 1; rejected by the overlay otherwise).
+        """
+        index = self.graph.add_row(b)
+        if self._delegated_only:
+            self._grow_matching()
+        else:
+            self._row_match = np.append(self._row_match, UNMATCHED)
         return index
 
-    def add_col(self) -> int:
+    def add_col(self, b: int | None = None) -> int:
         """Append a column vertex; the matching is untouched."""
-        index = self.graph.add_col()
-        self._col_match = np.append(self._col_match, UNMATCHED)
+        index = self.graph.add_col(b)
+        if self._delegated_only:
+            self._grow_matching()
+        else:
+            self._col_match = np.append(self._col_match, UNMATCHED)
         return index
 
     # ---------------------------------------------------------- batch repair
@@ -242,6 +355,12 @@ class IncrementalMatcher:
             # Matching bookkeeping only; the one augmenting run happens below.
             if update.op == "delete" and self._row_match[update.u] == update.v:
                 self._row_match[update.u] = UNMATCHED
+                self._col_match[update.v] = UNMATCHED
+            elif update.op == "retire_row" and self._row_match[update.u] >= 0:
+                self._col_match[self._row_match[update.u]] = UNMATCHED
+                self._row_match[update.u] = UNMATCHED
+            elif update.op == "retire_col" and self._col_match[update.v] >= 0:
+                self._row_match[self._col_match[update.v]] = UNMATCHED
                 self._col_match[update.v] = UNMATCHED
             elif update.op == "add_row":
                 self._row_match = np.append(self._row_match, UNMATCHED)
@@ -263,8 +382,82 @@ class IncrementalMatcher:
             "cardinality": self.cardinality,
         }
 
+    def _apply_recompute(self, updates: list[GraphUpdate]) -> dict:
+        """Delegated-only batch: apply everything, recompute once if needed.
+
+        Pure vertex arrivals (and updates the graph rejects as no-ops) keep
+        the stored matching optimal, so the delegate only reruns when an
+        edge actually appeared or disappeared.  The summary's ``"changed"``
+        counts updates that structurally changed the graph.
+        """
+        changed = 0
+        edges_changed = False
+        for update in updates:
+            self.counters["updates_applied"] += 1
+            if not self.graph.apply(update):
+                continue
+            changed += 1
+            if update.op not in ("add_row", "add_col"):
+                edges_changed = True
+        if edges_changed:
+            snapshot = self.graph.compact()
+            initial = None
+            if self.plan.spec.accepts_initial:
+                initial = self._surviving_initial(snapshot)
+            result = self._run_delegate(snapshot, initial)
+            self._matching_obj = result.matching.copy()
+            self.counters["recomputes"] += 1
+            self.counters["delegate_edges_scanned"] += int(
+                result.counters.get("edges_scanned", 0)
+            )
+        elif changed:
+            self._grow_matching()
+        return {
+            "applied": len(updates),
+            "mode": "delegated",
+            "cardinality": self.cardinality,
+            "changed": changed,
+        }
+
+    def _grow_matching(self) -> None:
+        """Extend the stored matching to the current (grown) vertex counts."""
+        matching = self._matching_obj
+        n_rows, n_cols = self.graph.n_rows, self.graph.n_cols
+        if isinstance(matching, CapacitatedMatching):
+            self._matching_obj = CapacitatedMatching(
+                matching.edge_rows.copy(), matching.edge_cols.copy(), n_rows, n_cols
+            )
+            return
+        row_pad = np.full(n_rows - len(matching.row_match), UNMATCHED, dtype=np.int64)
+        col_pad = np.full(n_cols - len(matching.col_match), UNMATCHED, dtype=np.int64)
+        self._matching_obj = Matching(
+            np.concatenate([matching.row_match, row_pad]),
+            np.concatenate([matching.col_match, col_pad]),
+        )
+
+    def _surviving_initial(
+        self, snapshot: BipartiteGraph
+    ) -> Matching | CapacitatedMatching:
+        """The stored matching pruned to edges that still exist in ``snapshot``.
+
+        Only vertex counts grow and capacities never shrink, so the pruned
+        pair set is always a valid warm start for the delegate.
+        """
+        matching = self._matching_obj
+        pairs = [(u, v) for u, v in matching.pairs() if self.graph.has_edge(u, v)]
+        if isinstance(matching, CapacitatedMatching):
+            return CapacitatedMatching.from_pairs(snapshot, pairs)
+        row_match = np.full(snapshot.n_rows, UNMATCHED, dtype=np.int64)
+        col_match = np.full(snapshot.n_cols, UNMATCHED, dtype=np.int64)
+        for u, v in pairs:
+            row_match[u] = v
+            col_match[v] = u
+        return Matching(row_match, col_match)
+
     def _run_delegate(
-        self, snapshot: BipartiteGraph, initial: Matching | None
+        self,
+        snapshot: BipartiteGraph,
+        initial: Matching | CapacitatedMatching | None,
     ) -> MatchingResult:
         if self._recompute_fn is not None:
             return self._recompute_fn(snapshot, initial)

@@ -41,16 +41,15 @@ class DynamicBipartiteGraph:
     mutation); ``compact()`` additionally adopts that snapshot as the new
     base, emptying the overlay.  Row/column indices gained through
     ``add_row()`` / ``add_col()`` extend the index space at the end, so all
-    existing indices stay valid.
+    existing indices stay valid; ``retire_row()`` / ``retire_col()`` model
+    vertex departure by dropping the incident edges while keeping the index
+    valid (and isolated).  Edge weights and per-vertex b-matching
+    capacities on the base survive snapshots and compaction: insertions on
+    a weighted base carry their weight, arrivals on a capacitated base
+    carry their capacity.
     """
 
     def __init__(self, base: BipartiteGraph) -> None:
-        if base.has_weights:
-            raise ValueError(
-                "DynamicBipartiteGraph does not support weighted graphs yet: "
-                "compaction would silently drop the edge weights.  Strip them "
-                "with graph.with_weights(None) first."
-            )
         self._base = base
         self._n_rows = base.n_rows
         self._n_cols = base.n_cols
@@ -60,6 +59,15 @@ class DynamicBipartiteGraph:
         self._added_by_col: dict[int, set[int]] = {}
         self._deleted_by_row: dict[int, set[int]] = {}
         self._deleted_by_col: dict[int, set[int]] = {}
+        # Weight of every inserted edge, keyed (u, v); only on weighted bases.
+        self._added_weights: dict[tuple[int, int], float] = {}
+        # Per-vertex capacities as growable lists; None on uncapacitated bases.
+        self._b_row: list[int] | None = (
+            base.b_row.tolist() if base.has_capacities else None
+        )
+        self._b_col: list[int] | None = (
+            base.b_col.tolist() if base.has_capacities else None
+        )
         self._n_added = 0
         self._n_deleted = 0
         self._snapshot: BipartiteGraph | None = base
@@ -89,6 +97,16 @@ class DynamicBipartiteGraph:
     @property
     def name(self) -> str:
         return self._base.name
+
+    @property
+    def has_weights(self) -> bool:
+        """Whether the graph carries edge weights (decided by the base)."""
+        return self._base.has_weights
+
+    @property
+    def has_capacities(self) -> bool:
+        """Whether the graph carries per-vertex b-matching capacities."""
+        return self._b_row is not None
 
     @property
     def overlay_size(self) -> int:
@@ -148,20 +166,44 @@ class DynamicBipartiteGraph:
         return np.fromiter(sorted(merged), dtype=np.int64, count=len(merged))
 
     # ------------------------------------------------------------- mutations
-    def insert_edge(self, u: int, v: int) -> bool:
-        """Add edge ``(u, v)``; returns whether the graph changed."""
+    def insert_edge(self, u: int, v: int, weight: float | None = None) -> bool:
+        """Add edge ``(u, v)``; returns whether the graph changed.
+
+        On a weighted graph every insertion must carry a ``weight``; on an
+        unweighted graph passing one is an error (it would be silently
+        meaningless otherwise).  Inserting an edge that already exists is a
+        no-op — the existing weight is kept.
+        """
         u, v = self._check_row(u), self._check_col(v)
+        weighted = self._base.has_weights
+        if weighted and weight is None:
+            raise ValueError(
+                f"insert_edge({u}, {v}) on weighted graph {self.name!r} "
+                "needs a weight"
+            )
+        if not weighted and weight is not None:
+            raise ValueError(
+                f"insert_edge({u}, {v}, weight={weight!r}): graph "
+                f"{self.name!r} carries no edge weights"
+            )
+        if v in self._added_by_row.get(u, ()):
+            return False
         if v in self._deleted_by_row.get(u, ()):
-            # Resurrect a deleted base edge: drop the tombstone.
-            self._deleted_by_row[u].discard(v)
-            self._deleted_by_col[v].discard(u)
-            self._n_deleted -= 1
-            self._snapshot = None
-            return True
-        if self.has_edge(u, v):
+            if not weighted:
+                # Resurrect a deleted base edge: drop the tombstone.
+                self._deleted_by_row[u].discard(v)
+                self._deleted_by_col[v].discard(u)
+                self._n_deleted -= 1
+                self._snapshot = None
+                return True
+            # Weighted resurrection keeps the tombstone and records the edge
+            # as inserted, so the *new* weight wins over the base weight.
+        elif self.has_edge(u, v):
             return False
         self._added_by_row.setdefault(u, set()).add(v)
         self._added_by_col.setdefault(v, set()).add(u)
+        if weighted:
+            self._added_weights[(u, v)] = float(weight)
         self._n_added += 1
         self._snapshot = None
         return True
@@ -172,6 +214,7 @@ class DynamicBipartiteGraph:
         if v in self._added_by_row.get(u, ()):
             self._added_by_row[u].discard(v)
             self._added_by_col[v].discard(u)
+            self._added_weights.pop((u, v), None)
             self._n_added -= 1
             self._snapshot = None
             return True
@@ -183,28 +226,70 @@ class DynamicBipartiteGraph:
         self._snapshot = None
         return True
 
-    def add_row(self) -> int:
-        """Append one row vertex; returns its index."""
+    def add_row(self, b: int | None = None) -> int:
+        """Append one row vertex (arrival); returns its index.
+
+        On a capacitated graph ``b`` is the new vertex's capacity (default
+        1); on an uncapacitated graph passing ``b`` is an error.
+        """
+        if b is not None and self._b_row is None:
+            raise ValueError(
+                f"add_row(b={b!r}): graph {self.name!r} carries no vertex "
+                "capacities"
+            )
         self._n_rows += 1
+        if self._b_row is not None:
+            self._b_row.append(1 if b is None else int(b))
         self._snapshot = None
         return self._n_rows - 1
 
-    def add_col(self) -> int:
-        """Append one column vertex; returns its index."""
+    def add_col(self, b: int | None = None) -> int:
+        """Append one column vertex (arrival); returns its index."""
+        if b is not None and self._b_col is None:
+            raise ValueError(
+                f"add_col(b={b!r}): graph {self.name!r} carries no vertex "
+                "capacities"
+            )
         self._n_cols += 1
+        if self._b_col is not None:
+            self._b_col.append(1 if b is None else int(b))
         self._snapshot = None
         return self._n_cols - 1
+
+    def retire_row(self, u: int) -> bool:
+        """Vertex departure: drop every edge incident to row ``u``.
+
+        The index stays valid (and isolated) so other indices keep their
+        meaning; returns whether any edge was removed.
+        """
+        u = self._check_row(u)
+        changed = False
+        for v in self.row_neighbors(u).tolist():
+            changed |= self.delete_edge(u, int(v))
+        return changed
+
+    def retire_col(self, v: int) -> bool:
+        """Vertex departure: drop every edge incident to column ``v``."""
+        v = self._check_col(v)
+        changed = False
+        for u in self.column_neighbors(v).tolist():
+            changed |= self.delete_edge(int(u), v)
+        return changed
 
     def apply(self, update: GraphUpdate) -> bool:
         """Apply one :class:`GraphUpdate`; returns whether the graph changed."""
         if update.op == "insert":
-            return self.insert_edge(update.u, update.v)
+            return self.insert_edge(update.u, update.v, update.weight)
         if update.op == "delete":
             return self.delete_edge(update.u, update.v)
+        if update.op == "retire_row":
+            return self.retire_row(update.u)
+        if update.op == "retire_col":
+            return self.retire_col(update.v)
         if update.op == "add_row":
-            self.add_row()
+            self.add_row(update.b)
             return True
-        self.add_col()
+        self.add_col(update.b)
         return True
 
     # ------------------------------------------------------------ compaction
@@ -217,13 +302,16 @@ class DynamicBipartiteGraph:
         """
         if self._snapshot is not None and name is None:
             return self._snapshot
-        edges = self._edge_array()
+        edges, weights = self._edge_array()
         snap = from_edges(
             edges,
             n_rows=self._n_rows,
             n_cols=self._n_cols,
             name=self._base.name if name is None else name,
+            weights=weights,
         )
+        if self._b_row is not None:
+            snap = snap.with_capacities(self._b_row, self._b_col)
         if name is None:
             self._snapshot = snap
         return snap
@@ -236,12 +324,16 @@ class DynamicBipartiteGraph:
         self._added_by_col.clear()
         self._deleted_by_row.clear()
         self._deleted_by_col.clear()
+        self._added_weights.clear()
         self._n_added = 0
         self._n_deleted = 0
         return snap
 
-    def _edge_array(self) -> np.ndarray:
+    def _edge_array(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """The merged edge list, plus parallel weights on a weighted base."""
+        weighted = self._base.has_weights
         base_edges = self._base.edges()
+        base_weights = self._base.weights if weighted else None
         if self._n_deleted:
             # Vectorized filter: encode (u, v) as u * n_cols + v and mask the
             # (small) deleted set out, instead of a per-edge Python loop.
@@ -251,14 +343,21 @@ class DynamicBipartiteGraph:
             ).reshape(-1, 2)
             keys = base_edges[:, 0] * self._n_cols + base_edges[:, 1]
             deleted_keys = deleted[:, 0] * self._n_cols + deleted[:, 1]
-            base_edges = base_edges[~np.isin(keys, deleted_keys)]
+            keep = ~np.isin(keys, deleted_keys)
+            base_edges = base_edges[keep]
+            if weighted:
+                base_weights = base_weights[keep]
         if not self._n_added:
-            return base_edges
-        added = np.array(
-            [(u, v) for u, vs in self._added_by_row.items() for v in vs],
-            dtype=np.int64,
-        ).reshape(-1, 2)
-        return np.concatenate([base_edges, added], axis=0)
+            return base_edges, base_weights
+        added_pairs = [(u, v) for u, vs in self._added_by_row.items() for v in vs]
+        added = np.array(added_pairs, dtype=np.int64).reshape(-1, 2)
+        edges = np.concatenate([base_edges, added], axis=0)
+        if not weighted:
+            return edges, None
+        added_weights = np.array(
+            [self._added_weights[pair] for pair in added_pairs], dtype=np.float64
+        )
+        return edges, np.concatenate([base_weights, added_weights])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

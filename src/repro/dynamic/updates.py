@@ -3,18 +3,27 @@
 A :class:`GraphUpdate` is the unit both the :class:`~repro.dynamic.overlay.
 DynamicBipartiteGraph` overlay and the :class:`~repro.dynamic.incremental.
 IncrementalMatcher` consume, and the line format of the JSONL update traces
-replayed by the CLI ``stream`` subcommand.  Four operations exist:
+replayed by the CLI ``stream`` subcommand.  Six operations exist:
 
 ``insert`` / ``delete``
-    Add or remove the edge ``(u, v)`` (row ``u``, column ``v``).
+    Add or remove the edge ``(u, v)`` (row ``u``, column ``v``).  On a
+    weighted graph, ``insert`` carries the edge's ``weight``.
 ``add_row`` / ``add_col``
-    Grow the vertex set by one row / column (``u`` and ``v`` unused).
+    Grow the vertex set by one row / column (``u`` and ``v`` unused).  On a
+    capacitated graph the optional ``b`` field is the arriving vertex's
+    capacity (default 1).
+``retire_row`` / ``retire_col``
+    Vertex departure: drop every edge incident to row ``u`` / column ``v``.
+    The index itself stays valid (and isolated), so all other indices in
+    the trace keep their meaning.
 
 Traces serialise one update per line, e.g.::
 
     {"op": "insert", "u": 3, "v": 7}
+    {"op": "insert", "u": 3, "v": 8, "weight": 2.5}
     {"op": "delete", "u": 0, "v": 2}
-    {"op": "add_row"}
+    {"op": "add_row", "b": 3}
+    {"op": "retire_col", "v": 1}
 """
 
 from __future__ import annotations
@@ -34,9 +43,10 @@ __all__ = [
 ]
 
 #: Accepted operation names, in the order they appear in the docs.
-UPDATE_OPS = ("insert", "delete", "add_row", "add_col")
+UPDATE_OPS = ("insert", "delete", "add_row", "add_col", "retire_row", "retire_col")
 
 _EDGE_OPS = frozenset({"insert", "delete"})
+_GROW_OPS = frozenset({"add_row", "add_col"})
 
 
 @dataclass(frozen=True)
@@ -48,13 +58,22 @@ class GraphUpdate:
     op:
         One of :data:`UPDATE_OPS`.
     u, v:
-        Row and column index for the edge operations; ``None`` (and ignored)
-        for ``add_row`` / ``add_col``.
+        Row and column index for the edge operations; for ``retire_row``
+        only ``u`` is used and for ``retire_col`` only ``v``; ``None`` (and
+        ignored) for ``add_row`` / ``add_col``.
+    weight:
+        Optional edge weight for ``insert`` on a weighted graph; must be
+        ``None`` for every other operation.
+    b:
+        Optional vertex capacity for ``add_row`` / ``add_col`` on a
+        capacitated graph; must be ``None`` for every other operation.
     """
 
     op: str
     u: int | None = None
     v: int | None = None
+    weight: float | None = None
+    b: int | None = None
 
     def __post_init__(self) -> None:
         if self.op not in UPDATE_OPS:
@@ -64,22 +83,48 @@ class GraphUpdate:
                 raise ValueError(f"update {self.op!r} needs both 'u' and 'v'")
             object.__setattr__(self, "u", int(self.u))
             object.__setattr__(self, "v", int(self.v))
+        elif self.op == "retire_row":
+            if self.u is None:
+                raise ValueError("update 'retire_row' needs 'u'")
+            object.__setattr__(self, "u", int(self.u))
+        elif self.op == "retire_col":
+            if self.v is None:
+                raise ValueError("update 'retire_col' needs 'v'")
+            object.__setattr__(self, "v", int(self.v))
+        if self.weight is not None:
+            if self.op != "insert":
+                raise ValueError(f"update {self.op!r} does not take a 'weight'")
+            object.__setattr__(self, "weight", float(self.weight))
+        if self.b is not None:
+            if self.op not in _GROW_OPS:
+                raise ValueError(f"update {self.op!r} does not take a capacity 'b'")
+            if int(self.b) < 1:
+                raise ValueError(f"update {self.op!r} capacity 'b' must be >= 1")
+            object.__setattr__(self, "b", int(self.b))
 
     @classmethod
-    def insert(cls, u: int, v: int) -> "GraphUpdate":
-        return cls("insert", u, v)
+    def insert(cls, u: int, v: int, weight: float | None = None) -> "GraphUpdate":
+        return cls("insert", u, v, weight=weight)
 
     @classmethod
     def delete(cls, u: int, v: int) -> "GraphUpdate":
         return cls("delete", u, v)
 
     @classmethod
-    def add_row(cls) -> "GraphUpdate":
-        return cls("add_row")
+    def add_row(cls, b: int | None = None) -> "GraphUpdate":
+        return cls("add_row", b=b)
 
     @classmethod
-    def add_col(cls) -> "GraphUpdate":
-        return cls("add_col")
+    def add_col(cls, b: int | None = None) -> "GraphUpdate":
+        return cls("add_col", b=b)
+
+    @classmethod
+    def retire_row(cls, u: int) -> "GraphUpdate":
+        return cls("retire_row", u)
+
+    @classmethod
+    def retire_col(cls, v: int) -> "GraphUpdate":
+        return cls("retire_col", None, v)
 
     def to_json(self) -> str:
         """This update as a compact single-line JSON object."""
@@ -87,6 +132,14 @@ class GraphUpdate:
         if self.op in _EDGE_OPS:
             payload["u"] = self.u
             payload["v"] = self.v
+            if self.weight is not None:
+                payload["weight"] = self.weight
+        elif self.op == "retire_row":
+            payload["u"] = self.u
+        elif self.op == "retire_col":
+            payload["v"] = self.v
+        elif self.b is not None:
+            payload["b"] = self.b
         return json.dumps(payload)
 
 
@@ -102,11 +155,28 @@ def parse_update(obj: dict, *, where: str = "update") -> GraphUpdate:
     if op not in UPDATE_OPS:
         raise ValueError(f"{where}: unknown op {op!r}; choose from {UPDATE_OPS}")
     u, v = obj.get("u"), obj.get("v")
+    weight, b = obj.get("weight"), obj.get("b")
+    required = ()
     if op in _EDGE_OPS:
-        for label, value in (("u", u), ("v", v)):
-            if not isinstance(value, int) or isinstance(value, bool):
-                raise ValueError(f"{where}: {op!r} needs an integer {label!r}, got {value!r}")
-    return GraphUpdate(op, u, v)
+        required = (("u", u), ("v", v))
+    elif op == "retire_row":
+        required = (("u", u),)
+    elif op == "retire_col":
+        required = (("v", v),)
+    for label, value in required:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"{where}: {op!r} needs an integer {label!r}, got {value!r}")
+    if weight is not None:
+        if op != "insert":
+            raise ValueError(f"{where}: {op!r} does not take a 'weight'")
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool):
+            raise ValueError(f"{where}: 'weight' must be a number, got {weight!r}")
+    if b is not None:
+        if op not in _GROW_OPS:
+            raise ValueError(f"{where}: {op!r} does not take a capacity 'b'")
+        if not isinstance(b, int) or isinstance(b, bool) or b < 1:
+            raise ValueError(f"{where}: 'b' must be a positive integer, got {b!r}")
+    return GraphUpdate(op, u, v, weight=weight, b=b)
 
 
 def read_update_trace(source: str | Path | TextIO) -> Iterator[GraphUpdate]:

@@ -32,6 +32,19 @@ from repro.generators.suite import (
     instance_names,
     materialize_instance,
 )
+from repro.generators.capacities import (
+    apply_capacity_spec,
+    col_capacities,
+    fixed_capacities,
+    row_capacities,
+    uniform_capacities,
+)
+from repro.generators.scenarios import (
+    SCENARIOS,
+    Scenario,
+    generate_scenario,
+    scenario_names,
+)
 from repro.generators.trace import bubbles_graph, trace_graph
 from repro.generators.updates import random_update_trace, suite_update_workload
 from repro.generators.weights import (
@@ -59,6 +72,15 @@ __all__ = [
     "uniform_weights",
     "geometric_weights",
     "rank_correlated_weights",
+    "apply_capacity_spec",
+    "fixed_capacities",
+    "uniform_capacities",
+    "row_capacities",
+    "col_capacities",
+    "SCENARIOS",
+    "Scenario",
+    "generate_scenario",
+    "scenario_names",
     "SUITE_SPECS",
     "SuiteInstance",
     "generate_suite",

@@ -1,0 +1,179 @@
+"""Vertex-capacity generators for the b-matching workloads.
+
+Each generator takes an existing graph and returns a copy carrying
+per-vertex capacities, via :meth:`BipartiteGraph.with_capacities` —
+structure, weights and capacities compose freely, so every family of the
+synthetic suite doubles as a capacitated instance.  All generators are
+deterministic given a seed and produce integer capacities ``>= 1``.
+
+The four patterns cover the b-matching shapes that matter in practice:
+
+* :func:`fixed_capacities` — the same capacity on every vertex, the
+  uniform-degree-constraint baseline;
+* :func:`uniform_capacities` — i.i.d. integer capacities on both sides;
+* :func:`row_capacities` / :func:`col_capacities` — many-to-one shapes
+  where only one side aggregates (workers taking several tasks, slots
+  hosting several ads); ``col_capacities`` is the shape the ε-scaling
+  auction variant (``b-auction``) accepts.
+
+A compact string form (``"fixed:2"``, ``"uniform:1:4"``, ``"rows:3"``,
+``"cols:3"``) is parsed by :func:`apply_capacity_spec` for the CLI and the
+batch manifests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = [
+    "apply_capacity_spec",
+    "col_capacities",
+    "fixed_capacities",
+    "parse_capacity_spec",
+    "row_capacities",
+    "uniform_capacities",
+]
+
+
+def fixed_capacities(graph: BipartiteGraph, b: int = 2) -> BipartiteGraph:
+    """Every vertex on both sides gets capacity ``b``.
+
+    Raises
+    ------
+    ValueError
+        If ``b < 1``.
+    """
+    if b < 1:
+        raise ValueError(f"capacity must be at least 1, got {b}")
+    return graph.with_capacities(
+        np.full(graph.n_rows, int(b), dtype=np.int64),
+        np.full(graph.n_cols, int(b), dtype=np.int64),
+    )
+
+
+def uniform_capacities(
+    graph: BipartiteGraph,
+    low: int = 1,
+    high: int = 4,
+    seed: int | None = None,
+) -> BipartiteGraph:
+    """Independent uniform integer capacities in ``[low, high]`` on both sides.
+
+    Parameters
+    ----------
+    graph:
+        The structural graph to capacitate.
+    low, high:
+        Inclusive integer capacity range; ``low`` must be at least 1.
+    seed:
+        Seed for :class:`numpy.random.Generator`.
+
+    Raises
+    ------
+    ValueError
+        If ``low < 1`` or ``low > high``.
+    """
+    if low < 1:
+        raise ValueError(f"capacities must be at least 1, got low={low}")
+    if low > high:
+        raise ValueError(f"empty capacity range [{low}, {high}]")
+    rng = np.random.default_rng(seed)
+    return graph.with_capacities(
+        rng.integers(int(low), int(high) + 1, size=graph.n_rows).astype(np.int64),
+        rng.integers(int(low), int(high) + 1, size=graph.n_cols).astype(np.int64),
+    )
+
+
+def row_capacities(graph: BipartiteGraph, b: int = 3) -> BipartiteGraph:
+    """Many-to-one toward rows: every row gets capacity ``b``, columns 1."""
+    if b < 1:
+        raise ValueError(f"capacity must be at least 1, got {b}")
+    return graph.with_capacities(
+        np.full(graph.n_rows, int(b), dtype=np.int64),
+        np.ones(graph.n_cols, dtype=np.int64),
+    )
+
+
+def col_capacities(graph: BipartiteGraph, b: int = 3) -> BipartiteGraph:
+    """Many-to-one toward columns: every column gets capacity ``b``, rows 1.
+
+    This is the shape the auction variant (``b-auction``) solves — unit row
+    capacities with aggregating columns.
+    """
+    if b < 1:
+        raise ValueError(f"capacity must be at least 1, got {b}")
+    return graph.with_capacities(
+        np.ones(graph.n_rows, dtype=np.int64),
+        np.full(graph.n_cols, int(b), dtype=np.int64),
+    )
+
+
+def parse_capacity_spec(spec: str) -> tuple[str, dict]:
+    """Parse a capacity-spec string into ``(kind, keyword arguments)``.
+
+    Accepted forms (used by the CLI ``--capacities`` flag and the batch
+    manifest ``"capacities"`` field):
+
+    * ``"fixed:B"`` (or ``"fixed"``) — :func:`fixed_capacities`;
+    * ``"uniform:LOW:HIGH"`` (or ``"uniform"``) — :func:`uniform_capacities`;
+    * ``"rows:B"`` (or ``"rows"``) — :func:`row_capacities`;
+    * ``"cols:B"`` (or ``"cols"``) — :func:`col_capacities`.
+
+    Graph-free, so manifest loaders can reject a bad spec on any line
+    *before* building graphs.
+
+    Raises
+    ------
+    ValueError
+        For an unknown spec kind or malformed numbers.
+    """
+    kind, _, rest = str(spec).partition(":")
+    kind = kind.strip().lower()
+    # Keep empty segments so "uniform::6" means "default low, high 6".
+    args = rest.split(":") if rest else []
+
+    def number(index: int, default: int) -> int:
+        if index >= len(args) or args[index] == "":
+            return default
+        try:
+            return int(args[index])
+        except ValueError:
+            raise ValueError(f"malformed capacity spec {spec!r}") from None
+
+    arity = {"fixed": 1, "uniform": 2, "rows": 1, "cols": 1}
+    if kind not in arity:
+        raise ValueError(
+            f"unknown capacity spec {spec!r}; expected fixed[:B], "
+            f"uniform[:LOW:HIGH], rows[:B] or cols[:B]"
+        )
+    if len(args) > arity[kind]:
+        # Silently dropping a trailing argument would run with different
+        # capacities than the user asked for.
+        raise ValueError(
+            f"capacity spec {spec!r} takes at most {arity[kind]} argument(s)"
+        )
+    if kind == "uniform":
+        return kind, {"low": number(0, 1), "high": number(1, 4)}
+    return kind, {"b": number(0, {"fixed": 2, "rows": 3, "cols": 3}[kind])}
+
+
+def apply_capacity_spec(
+    graph: BipartiteGraph, spec: str, seed: int | None = None
+) -> BipartiteGraph:
+    """Apply a compact capacity-spec string (see :func:`parse_capacity_spec`).
+
+    Raises
+    ------
+    ValueError
+        For an unknown spec or malformed numbers.
+    """
+    kind, kwargs = parse_capacity_spec(spec)
+    if kind == "fixed":
+        return fixed_capacities(graph, **kwargs)
+    if kind == "uniform":
+        return uniform_capacities(graph, seed=seed, **kwargs)
+    if kind == "rows":
+        return row_capacities(graph, **kwargs)
+    return col_capacities(graph, **kwargs)

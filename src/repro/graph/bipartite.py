@@ -50,6 +50,13 @@ class BipartiteGraph:
         per edge, in column-CSR order).  ``None`` for purely structural
         graphs.  Weights participate in :meth:`content_hash`, so the result
         caches distinguish same-structure / different-weight graphs.
+    b_row, b_col:
+        Optional ``int64`` per-vertex capacities (the *b* of b-matching): row
+        ``u`` may be matched to up to ``b_row[u]`` columns and column ``v``
+        to up to ``b_col[v]`` rows.  Both are set together (or both
+        ``None``); every capacity must be at least 1.  Like weights, the
+        capacities participate in :meth:`content_hash`, and capacity-free
+        graphs hash exactly as before capacities existed.
 
     Notes
     -----
@@ -75,6 +82,8 @@ class BipartiteGraph:
     row_ind: np.ndarray
     name: str = field(default="bipartite", compare=False)
     weights: np.ndarray | None = field(default=None, compare=False)
+    b_row: np.ndarray | None = field(default=None, compare=False)
+    b_col: np.ndarray | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------------ init
     def __post_init__(self) -> None:
@@ -112,11 +121,29 @@ class BipartiteGraph:
             if not np.all(np.isfinite(weights)):
                 raise ValueError("edge weights must be finite")
             object.__setattr__(self, "weights", weights)
+        if (self.b_row is None) != (self.b_col is None):
+            raise ValueError("capacities must be set on both sides (b_row and b_col) or neither")
+        if self.b_row is not None:
+            for label, caps, count in (
+                ("b_row", self.b_row, self.n_rows),
+                ("b_col", self.b_col, self.n_cols),
+            ):
+                arr = np.asarray(caps, dtype=np.int64)
+                if arr.ndim != 1:
+                    raise ValueError(f"{label} must be a 1-D array, got shape {arr.shape}")
+                if len(arr) != count:
+                    raise ValueError(
+                        f"{label} must have one entry per vertex ({count}), got {len(arr)}"
+                    )
+                if len(arr) and int(arr.min()) < 1:
+                    raise ValueError(f"{label} capacities must all be >= 1")
+                object.__setattr__(self, label, arr)
         # Make the arrays read-only so accidental in-place edits by an
         # algorithm fail loudly instead of corrupting shared state.
         arrays = (self.col_ptr, self.col_ind, self.row_ptr, self.row_ind)
-        if self.weights is not None:
-            arrays = arrays + (self.weights,)
+        for extra in (self.weights, self.b_row, self.b_col):
+            if extra is not None:
+                arrays = arrays + (extra,)
         for arr in arrays:
             arr.setflags(write=False)
 
@@ -145,6 +172,11 @@ class BipartiteGraph:
     def has_weights(self) -> bool:
         """Whether the graph carries an edge-weight array."""
         return self.weights is not None
+
+    @property
+    def has_capacities(self) -> bool:
+        """Whether the graph carries per-vertex b-matching capacities."""
+        return self.b_row is not None
 
     @property
     def col_degrees(self) -> np.ndarray:
@@ -289,6 +321,10 @@ class BipartiteGraph:
             if self.weights is not None:
                 digest.update(b"weights:")
                 digest.update(np.ascontiguousarray(self.weights).tobytes())
+            if self.b_row is not None:
+                digest.update(b"capacities:")
+                digest.update(np.ascontiguousarray(self.b_row).tobytes())
+                digest.update(np.ascontiguousarray(self.b_col).tobytes())
             cached = digest.hexdigest()
             object.__setattr__(self, "_content_hash", cached)
         return cached
@@ -322,6 +358,8 @@ class BipartiteGraph:
             row_ind=self.col_ind,
             name=f"{self.name}^T",
             weights=self.row_aligned_weights() if self.has_weights else None,
+            b_row=self.b_col,
+            b_col=self.b_row,
         )
 
     def with_name(self, name: str) -> "BipartiteGraph":
@@ -335,6 +373,8 @@ class BipartiteGraph:
             row_ind=self.row_ind,
             name=name,
             weights=self.weights,
+            b_row=self.b_row,
+            b_col=self.b_col,
         )
 
     def with_weights(self, weights: np.ndarray | None) -> "BipartiteGraph":
@@ -364,6 +404,42 @@ class BipartiteGraph:
             row_ind=self.row_ind,
             name=self.name,
             weights=None if weights is None else np.array(weights, dtype=np.float64),
+            b_row=self.b_row,
+            b_col=self.b_col,
+        )
+
+    def with_capacities(
+        self, b_row: np.ndarray | None, b_col: np.ndarray | None
+    ) -> "BipartiteGraph":
+        """A copy of this graph (sharing index arrays) with new vertex capacities.
+
+        Parameters
+        ----------
+        b_row, b_col:
+            One positive integer per row / column vertex, or ``None`` for
+            both to strip capacities.
+
+        Returns
+        -------
+        BipartiteGraph
+
+        Raises
+        ------
+        ValueError
+            If the arrays have the wrong length, a capacity below 1, or only
+            one side is given.
+        """
+        return BipartiteGraph(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            col_ptr=self.col_ptr,
+            col_ind=self.col_ind,
+            row_ptr=self.row_ptr,
+            row_ind=self.row_ind,
+            name=self.name,
+            weights=self.weights,
+            b_row=None if b_row is None else np.array(b_row, dtype=np.int64),
+            b_col=None if b_col is None else np.array(b_col, dtype=np.int64),
         )
 
     # ---------------------------------------------------------------- export
@@ -399,7 +475,8 @@ class BipartiteGraph:
     # ------------------------------------------------------------------ misc
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         weighted = ", weighted" if self.has_weights else ""
+        capacitated = ", capacitated" if self.has_capacities else ""
         return (
             f"BipartiteGraph(name={self.name!r}, n_rows={self.n_rows}, "
-            f"n_cols={self.n_cols}, n_edges={self.n_edges}{weighted})"
+            f"n_cols={self.n_cols}, n_edges={self.n_edges}{weighted}{capacitated})"
         )

@@ -20,9 +20,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.core.api import SPECS
 from repro.engine.execution import validate_job_args
 from repro.engine.handles import JobHandle
 from repro.engine.job import INITIAL_CHOICES, MatchingJob
+from repro.generators.capacities import apply_capacity_spec, parse_capacity_spec
 from repro.generators.suite import SCALE_PROFILES, SUITE_SPECS, generate_instance
 from repro.generators.weights import apply_weight_spec, parse_weight_spec
 from repro.graph.io import read_matrix_market
@@ -109,14 +111,17 @@ class GraphCache:
 def _build_graph(source: tuple):
     kind = source[0]
     if kind == "suite":
-        _, name, profile, seed, weights = source
+        _, name, profile, seed, weights, capacities = source
         graph = generate_instance(name, profile=profile, seed=seed)
+        cap_seed = seed
     else:
-        _, path, weights, seed = source
+        _, path, weights, seed, capacities, cap_seed = source
         weights_kind = parse_weight_spec(weights)[0] if weights else None
         graph = read_matrix_market(path, with_weights=weights_kind == "values")
     if weights is not None:
         graph = apply_weight_spec(graph, weights, seed=seed)
+    if capacities is not None:
+        graph = apply_capacity_spec(graph, capacities, seed=cap_seed)
     return graph
 
 
@@ -145,7 +150,8 @@ def parse_request(
     _require(isinstance(payload, dict), f"request must be an object, got {type(payload).__name__}")
     known = {
         "tenant", "graph", "mtx", "profile", "seed", "algorithm", "kwargs",
-        "initial", "weights", "objective", "deadline", "id", "include_matching",
+        "initial", "weights", "objective", "capacities", "deadline", "id",
+        "include_matching",
     }
     unknown = sorted(set(payload) - known)
     _require(not unknown, f"unknown request fields: {', '.join(unknown)}")
@@ -194,6 +200,19 @@ def parse_request(
             "'objective' conflicts with kwargs['objective']",
         )
         kwargs["objective"] = objective
+    capacities = payload.get("capacities")
+    if capacities is not None:
+        _require(isinstance(capacities, str), "'capacities' must be a capacity-spec string")
+        try:
+            parse_capacity_spec(capacities)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+        spec_entry = SPECS.get(algorithm)
+        _require(
+            spec_entry is None or spec_entry.capacitated,
+            f"algorithm {algorithm!r} ignores vertex capacities; pick b-aug, "
+            "b-expand or b-auction, or drop 'capacities'",
+        )
 
     deadline = payload.get("deadline", default_deadline)
     if deadline is not None:
@@ -218,7 +237,8 @@ def parse_request(
         _require(isinstance(path, str) and Path(path).is_file(),
                  f"no such Matrix-Market file {path!r}")
         weight_seed = seed if weights is not None and weights_kind != "values" else None
-        source = ("mtx", path, weights, weight_seed)
+        cap_seed = seed if capacities is not None else None
+        source = ("mtx", path, weights, weight_seed, capacities, cap_seed)
         graph_label = Path(path).name
     else:
         ref = payload["graph"]
@@ -227,7 +247,7 @@ def parse_request(
             any(spec.name == ref or spec.instance_id == ref for spec in SUITE_SPECS),
             f"unknown suite instance {ref!r} (see `repro.cli list` for the available names)",
         )
-        source = ("suite", ref, profile, seed, weights)
+        source = ("suite", ref, profile, seed, weights, capacities)
         graph_label = ref
 
     return ServerRequest(
@@ -283,7 +303,12 @@ def result_row(
     if result is not None and "total_weight" in result.counters:
         row["total_weight"] = result.counters["total_weight"]
     if request.include_matching and result is not None:
-        row["row_match"] = [int(v) for v in result.matching.row_match]
+        matching = result.matching
+        if hasattr(matching, "row_match"):
+            row["row_match"] = [int(v) for v in matching.row_match]
+        else:
+            # Capacitated results carry an edge list, not a 1-regular map.
+            row["pairs"] = [[int(u), int(v)] for u, v in matching.pairs()]
     if error is not None:
         row["error"] = str(error)
     if fault_injection:

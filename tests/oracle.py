@@ -1,0 +1,125 @@
+"""Exact small-instance b-matching oracles for the differential test suite.
+
+Two independent references, both deliberately naive (pure stdlib + numpy,
+no scipy) so they share no code — and therefore no bugs — with the solvers
+under test:
+
+``max_b_matching_cardinality``
+    Exact maximum b-matching cardinality via BFS max-flow (Edmonds–Karp) on
+    the flow network  ``source → columns (cap b_col) → per-edge unit arcs →
+    rows (cap b_row) → sink``.  Unit augmentations keep the code tiny; the
+    test instances are small by construction.
+
+``best_b_matching_weight``
+    Exact optimum of the lexicographic (cardinality, weight) objective the
+    weighted solvers optimise, by brute-force enumeration of edge subsets.
+    Only usable on tiny instances (the caller keeps ``n_edges`` ≤ ~16).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+
+def _effective_capacities(graph):
+    if graph.has_capacities:
+        return graph.b_row.tolist(), graph.b_col.tolist()
+    return [1] * graph.n_rows, [1] * graph.n_cols
+
+
+def max_b_matching_cardinality(graph) -> int:
+    """Exact maximum b-matching cardinality of ``graph`` (BFS max-flow)."""
+    b_row, b_col = _effective_capacities(graph)
+    n_rows, n_cols = graph.n_rows, graph.n_cols
+    source = 0
+    col_node = lambda v: 1 + v  # noqa: E731 - tiny local helpers
+    row_node = lambda u: 1 + n_cols + u  # noqa: E731
+    sink = 1 + n_cols + n_rows
+
+    # capacity[a][b] = residual capacity of arc a→b.
+    capacity: list[dict[int, int]] = [dict() for _ in range(sink + 1)]
+
+    def add_arc(a: int, b: int, cap: int) -> None:
+        capacity[a][b] = capacity[a].get(b, 0) + cap
+        capacity[b].setdefault(a, 0)
+
+    for v in range(n_cols):
+        add_arc(source, col_node(v), b_col[v])
+    for u in range(n_rows):
+        add_arc(row_node(u), sink, b_row[u])
+    for u, v in graph.edges().tolist():
+        add_arc(col_node(v), row_node(u), 1)
+
+    flow = 0
+    while True:
+        # BFS for a shortest residual source→sink path.
+        parent = {source: source}
+        queue = [source]
+        while queue and sink not in parent:
+            a = queue.pop(0)
+            for b, cap in capacity[a].items():
+                if cap > 0 and b not in parent:
+                    parent[b] = a
+                    queue.append(b)
+        if sink not in parent:
+            return flow
+        # Augment by one unit (every arc capacity here is a small integer;
+        # unit steps keep the bookkeeping obvious).
+        b = sink
+        while b != source:
+            a = parent[b]
+            capacity[a][b] -= 1
+            capacity[b][a] += 1
+            b = a
+        flow += 1
+
+
+def best_b_matching_weight(graph, objective: str = "max") -> tuple[int, float]:
+    """Exact lexicographic optimum ``(cardinality, weight)`` by brute force.
+
+    Among all valid b-matchings of ``graph``, finds the maximum cardinality,
+    and among those the best total weight (``objective`` = ``"max"`` or
+    ``"min"``; unit weights when the graph carries none).  Enumerates every
+    edge subset of the maximum cardinality — callers keep instances tiny.
+    """
+    if objective not in ("max", "min"):
+        raise ValueError(f"objective must be 'max' or 'min', not {objective!r}")
+    b_row, b_col = _effective_capacities(graph)
+    edges = [(int(u), int(v)) for u, v in graph.edges().tolist()]
+    if graph.has_weights:
+        weight_of = {
+            (int(u), int(v)): float(w)
+            for (u, v), w in zip(edges, _col_csr_weights(graph))
+        }
+    else:
+        weight_of = {e: 1.0 for e in edges}
+
+    best_cardinality = max_b_matching_cardinality(graph)
+    best_weight = None
+    for subset in combinations(edges, best_cardinality):
+        row_load = [0] * graph.n_rows
+        col_load = [0] * graph.n_cols
+        ok = True
+        for u, v in subset:
+            row_load[u] += 1
+            col_load[v] += 1
+            if row_load[u] > b_row[u] or col_load[v] > b_col[v]:
+                ok = False
+                break
+        if not ok:
+            continue
+        total = sum(weight_of[e] for e in subset)
+        if (
+            best_weight is None
+            or (objective == "max" and total > best_weight)
+            or (objective == "min" and total < best_weight)
+        ):
+            best_weight = total
+    return best_cardinality, float(best_weight if best_weight is not None else 0.0)
+
+
+def _col_csr_weights(graph) -> np.ndarray:
+    """The graph's weights in the same order ``graph.edges()`` yields pairs."""
+    return np.asarray(graph.weights, dtype=np.float64)

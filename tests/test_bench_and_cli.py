@@ -241,7 +241,9 @@ def test_cli_stream_replays_jsonl_trace_through_engine(tmp_path, capsys):
     assert len(batches) == 2
     assert all(b["mode"] == "delegated" for b in batches)
     summary = lines[-1]
-    assert summary["backend"] == "thread"
+    # No backend field: stream output must serialise byte-identically
+    # whichever engine backend ran the delegated recomputes.
+    assert "backend" not in summary
     assert summary["recomputes"] == 2
     assert summary["delegate_edges_scanned"] > 0
 

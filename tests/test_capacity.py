@@ -1,0 +1,242 @@
+"""Differential test suite for the capacitated b-matching solvers.
+
+The backbone is a seeded sweep — four generator families x seeds x capacity
+patterns, well over a hundred instances — where every solver's cardinality
+is checked against the independent Edmonds-Karp flow oracle in
+``tests/oracle.py``.  The oracle shares no code with the solvers under
+test, so agreement across the sweep is evidence, not tautology.
+
+On top of the sweep: exact weighted optima on tiny brute-forceable
+instances, bit-identical b=1 delegation to the uncapacitated solvers
+across all three engine backends, and the registry/graph plumbing
+(capacities in the content hash, shard rejection, spec flags).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from oracle import best_b_matching_weight, max_b_matching_cardinality
+from repro.capacity import (
+    CapacitatedMatching,
+    b_matching_weight,
+    capacitated_auction_matching,
+    is_valid_b_matching,
+)
+from repro.core.api import SPECS, max_bipartite_matching, resolve_algorithm
+from repro.engine import Engine
+from repro.engine.job import MatchingJob
+from repro.generators import (
+    apply_capacity_spec,
+    chung_lu_bipartite,
+    rmat_bipartite,
+    road_network_graph,
+    uniform_random_bipartite,
+    uniform_weights,
+)
+from repro.graph.builders import from_edges
+
+# ----------------------------------------------------------------- the sweep
+#
+# Kept small per instance (the oracle is pure-Python max-flow) but broad:
+# 4 families x 9 seeds x 3 capacity patterns = 108 oracle-checked instances,
+# each solved by both cardinality solvers.
+
+_FAMILIES = {
+    "random": lambda seed: uniform_random_bipartite(30, 26, avg_degree=3.0, seed=seed),
+    "rmat": lambda seed: rmat_bipartite(5, edge_factor=4.0, seed=seed),
+    "powerlaw": lambda seed: chung_lu_bipartite(28, 30, avg_degree=3.5, seed=seed),
+    "mesh": lambda seed: road_network_graph(36, seed=seed),
+}
+_SEEDS = tuple(range(9))
+_PATTERNS = ("fixed:2", "uniform:1:3", "rows:3")
+_SWEEP = [
+    (family, seed, pattern)
+    for family in sorted(_FAMILIES)
+    for seed in _SEEDS
+    for pattern in _PATTERNS
+]
+_CARDINALITY_SOLVERS = ("b-expand", "b-aug")
+
+
+def _capacitated_instance(family: str, seed: int, pattern: str):
+    graph = _FAMILIES[family](seed)
+    return apply_capacity_spec(graph, pattern, seed=seed + 1)
+
+
+def test_sweep_covers_at_least_100_instances():
+    # The acceptance bar for this suite: >= 100 oracle-agreeing instances.
+    assert len(_SWEEP) >= 100
+
+
+@pytest.mark.parametrize("family,seed,pattern", _SWEEP)
+def test_solvers_match_the_flow_oracle(family, seed, pattern):
+    graph = _capacitated_instance(family, seed, pattern)
+    reference = max_b_matching_cardinality(graph)
+    for name in _CARDINALITY_SOLVERS:
+        result = max_bipartite_matching(graph, algorithm=name)
+        assert isinstance(result.matching, CapacitatedMatching), name
+        assert is_valid_b_matching(graph, result.matching), name
+        assert result.matching.cardinality == result.cardinality, name
+        assert result.cardinality == reference, (name, family, seed, pattern)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_auction_matches_the_oracle_on_col_capacitated_instances(seed):
+    # The auction's shape: unit rows bidding for columns with seats.  It
+    # must reach the same maximum cardinality as the flow oracle.
+    graph = uniform_weights(
+        uniform_random_bipartite(24, 8, avg_degree=3.0, seed=seed), seed=seed + 1
+    )
+    graph = apply_capacity_spec(graph, "cols:3", seed=seed)
+    result = max_bipartite_matching(graph, algorithm="b-auction")
+    assert is_valid_b_matching(graph, result.matching)
+    assert result.cardinality == max_b_matching_cardinality(graph)
+
+
+def test_auction_rejects_row_capacities_above_one():
+    graph = apply_capacity_spec(
+        uniform_random_bipartite(10, 10, avg_degree=3.0, seed=3), "fixed:2", seed=0
+    )
+    with pytest.raises(ValueError, match="b_row"):
+        capacitated_auction_matching(graph)
+
+
+# --------------------------------------------------- exact weighted optima
+#
+# Tiny hand-sized instances (few enough edges to enumerate every subset)
+# where the brute-force oracle pins down the exact lexicographic
+# (cardinality, weight) optimum the auction must hit.
+
+_TINY_WEIGHTED = [
+    # (n_rows, n_cols, [(u, v, w)], b_col)
+    (4, 2, [(0, 0, 9.0), (1, 0, 7.0), (2, 0, 5.0), (2, 1, 4.0), (3, 1, 8.0)], [2, 1]),
+    (5, 2, [(0, 0, 3.0), (1, 0, 6.0), (2, 0, 2.0), (3, 1, 5.0), (4, 1, 1.0),
+            (0, 1, 4.0)], [2, 2]),
+    (3, 3, [(0, 0, 2.0), (0, 1, 8.0), (1, 1, 3.0), (1, 2, 7.0), (2, 0, 6.0),
+            (2, 2, 1.0)], [1, 2, 2]),
+    (6, 2, [(0, 0, 10.0), (1, 0, 9.0), (2, 0, 8.0), (3, 0, 7.0), (4, 1, 2.0),
+            (5, 1, 3.0), (0, 1, 1.0)], [3, 2]),
+]
+
+
+@pytest.mark.parametrize("case", range(len(_TINY_WEIGHTED)))
+def test_auction_hits_the_brute_force_optimum(case):
+    n_rows, n_cols, weighted_edges, b_col = _TINY_WEIGHTED[case]
+    edges = [(u, v) for u, v, _ in weighted_edges]
+    weights = [w for _, _, w in weighted_edges]
+    graph = from_edges(edges, n_rows, n_cols, name=f"tiny-{case}", weights=weights)
+    graph = graph.with_capacities(
+        np.ones(n_rows, dtype=np.int64), np.asarray(b_col, dtype=np.int64)
+    )
+    best_cardinality, best_weight = best_b_matching_weight(graph, objective="max")
+    result = max_bipartite_matching(graph, algorithm="b-auction")
+    assert is_valid_b_matching(graph, result.matching)
+    assert result.cardinality == best_cardinality
+    assert b_matching_weight(graph, result.matching) == pytest.approx(best_weight)
+
+
+# ------------------------------------------------- b=1 delegation identity
+#
+# With unit capacities (explicit all-ones or no capacities at all) each
+# capacitated spec must return the *bit-identical* result of its
+# uncapacitated counterpart — same row_match array, plus the
+# ``capacity_delegated`` marker — on every engine backend.
+
+_DELEGATIONS = [
+    ("b-aug", "hk", False),
+    ("b-expand", "hk", False),
+    ("b-auction", "weighted-auction", True),
+]
+
+
+def _delegation_graph(weighted: bool, unit_caps: bool):
+    graph = uniform_random_bipartite(50, 48, avg_degree=4.0, seed=17)
+    if weighted:
+        graph = uniform_weights(graph, seed=5)
+    if unit_caps:
+        graph = graph.with_capacities(
+            np.ones(graph.n_rows, dtype=np.int64),
+            np.ones(graph.n_cols, dtype=np.int64),
+        )
+    return graph
+
+
+@pytest.mark.parametrize("unit_caps", [False, True], ids=["no-caps", "all-ones"])
+@pytest.mark.parametrize("backend", ["inline", "thread", "process"])
+def test_b1_delegation_is_bit_identical_across_backends(backend, unit_caps):
+    jobs = [
+        MatchingJob(
+            graph=_delegation_graph(weighted, unit_caps),
+            algorithm=name,
+            job_id=name,
+        )
+        for name, _, weighted in _DELEGATIONS
+    ]
+    reference = {
+        name: max_bipartite_matching(_delegation_graph(weighted, False), delegate)
+        for name, delegate, weighted in _DELEGATIONS
+    }
+    with Engine(backend=backend, max_workers=2) as engine:
+        for handle in engine.as_completed(engine.map(jobs)):
+            result = handle.result()
+            name = handle.job.job_id
+            assert result.counters["capacity_delegated"] == 1, (backend, name)
+            expected = reference[name]
+            assert np.array_equal(
+                result.matching.row_match, expected.matching.row_match
+            ), (backend, name)
+            assert result.cardinality == expected.cardinality, (backend, name)
+
+
+def test_delegated_and_direct_paths_agree():
+    # Same structure solved twice: once with real capacities, once with the
+    # b=1 delegated path on the capacity-free graph.  The capacitated
+    # optimum can only be larger.
+    graph = uniform_random_bipartite(40, 40, avg_degree=3.0, seed=9)
+    capacitated = apply_capacity_spec(graph, "fixed:2", seed=2)
+    unit = max_bipartite_matching(graph, algorithm="b-aug")
+    wide = max_bipartite_matching(capacitated, algorithm="b-aug")
+    assert "capacity_delegated" not in wide.counters
+    assert wide.cardinality >= unit.cardinality
+    assert wide.cardinality == max_b_matching_cardinality(capacitated)
+
+
+# --------------------------------------------------------------- plumbing
+
+
+def test_capacitated_specs_are_flagged_in_the_registry():
+    flagged = {name for name, spec in SPECS.items() if spec.capacitated}
+    assert flagged == {"b-expand", "b-aug", "b-auction"}
+    for name in flagged:
+        assert SPECS[name].maximum
+
+
+@pytest.mark.parametrize("name", sorted({"b-expand", "b-aug", "b-auction"}))
+def test_capacitated_algorithms_cannot_run_sharded(name):
+    with pytest.raises(TypeError, match="sharded"):
+        resolve_algorithm(name, shards=2)
+
+
+def test_content_hash_folds_capacities():
+    graph = uniform_random_bipartite(20, 20, avg_degree=3.0, seed=1)
+    ones = np.ones(20, dtype=np.int64)
+    assert graph.content_hash() != graph.with_capacities(ones, ones).content_hash()
+    assert (
+        graph.with_capacities(ones * 2, ones).content_hash()
+        != graph.with_capacities(ones, ones).content_hash()
+    )
+    # Stripping the capacities restores the capacity-free hash, so cache
+    # entries written before capacities existed stay reachable.
+    stripped = graph.with_capacities(ones * 2, ones).with_capacities(None, None)
+    assert stripped.content_hash() == graph.content_hash()
+
+
+def test_transpose_swaps_capacities():
+    graph = apply_capacity_spec(
+        uniform_random_bipartite(12, 7, avg_degree=2.0, seed=4), "uniform:1:3", seed=8
+    )
+    flipped = graph.transpose()
+    assert np.array_equal(flipped.b_row, graph.b_col)
+    assert np.array_equal(flipped.b_col, graph.b_row)

@@ -3,9 +3,14 @@
 from __future__ import annotations
 
 import io
+import json
 
+import numpy as np
 import pytest
 
+from oracle import max_b_matching_cardinality
+from repro.capacity import CapacitatedMatching, is_valid_b_matching
+from repro.cli import main
 from repro.core.api import max_bipartite_matching, resolve_algorithm
 from repro.dynamic import (
     DynamicBipartiteGraph,
@@ -16,12 +21,14 @@ from repro.dynamic import (
     write_update_trace,
 )
 from repro.generators import (
+    apply_capacity_spec,
     random_update_trace,
     rmat_bipartite,
     road_network_graph,
     suite_update_workload,
     trace_graph,
     uniform_random_bipartite,
+    uniform_weights,
 )
 from repro.graph.builders import from_edges
 from repro.matching import Matching
@@ -331,3 +338,181 @@ def test_snapshot_content_hash_keys_caches():
         dyn.delete_edge(*map(int, graph.edges()[0]))
     assert a.snapshot().content_hash() == b.snapshot().content_hash()
     assert a.snapshot().content_hash() != graph.content_hash()
+
+
+# ----------------------------------- weighted / capacitated dynamic layer
+class TestWeightedCapacitatedOverlay:
+    def test_weighted_base_round_trips_through_snapshot(self):
+        graph = from_edges([(0, 0), (1, 1)], 2, 2, name="wtiny", weights=[2.0, 3.0])
+        dyn = DynamicBipartiteGraph(graph)
+        dyn.insert_edge(0, 1, 5.0)
+        snap = dyn.snapshot()
+        assert snap.has_weights
+        assert snap.edge_weight(0, 1) == 5.0
+        assert snap.edge_weight(1, 1) == 3.0
+
+    def test_insert_without_weight_names_the_operation(self):
+        # Regression: the old message ("weighted graphs are not supported")
+        # named neither the op nor the fix; it now points at the exact call.
+        graph = from_edges([(0, 0)], 2, 2, name="wtiny", weights=[2.0])
+        dyn = DynamicBipartiteGraph(graph)
+        with pytest.raises(ValueError, match=r"insert_edge\(1, 1\) on weighted graph"):
+            dyn.insert_edge(1, 1)
+
+    def test_weight_on_unweighted_graph_is_rejected(self, tiny):
+        dyn = DynamicBipartiteGraph(tiny)
+        with pytest.raises(ValueError, match="weight"):
+            dyn.insert_edge(1, 2, 4.0)
+
+    def test_capacity_on_uncapacitated_graph_names_the_operation(self, tiny):
+        dyn = DynamicBipartiteGraph(tiny)
+        with pytest.raises(ValueError, match=r"add_row\(b=2\)"):
+            dyn.add_row(b=2)
+        with pytest.raises(ValueError, match=r"add_col\(b=3\)"):
+            dyn.add_col(b=3)
+
+    def test_capacitated_arrivals_and_retirement(self):
+        graph = apply_capacity_spec(
+            uniform_random_bipartite(6, 6, avg_degree=2.0, seed=1), "fixed:2", seed=0
+        )
+        dyn = DynamicBipartiteGraph(graph)
+        v = dyn.add_col(b=3)
+        dyn.insert_edge(0, v)
+        snap = dyn.snapshot()
+        assert snap.has_capacities
+        assert int(snap.b_col[v]) == 3
+        assert int(snap.b_row[0]) == 2
+        # Retirement deletes every incident edge; the vertex index remains.
+        degree = dyn.row_neighbors(0).size
+        assert degree > 0
+        assert dyn.apply(GraphUpdate.retire_row(0))
+        assert dyn.row_neighbors(0).size == 0
+        assert dyn.shape == snap.shape
+
+
+class TestCapacitatedIncremental:
+    def test_weighted_graph_needs_a_weighted_plan(self):
+        graph = uniform_weights(
+            uniform_random_bipartite(12, 12, avg_degree=2.0, seed=3), seed=4
+        )
+        with pytest.raises(ValueError, match=r"'hk' would silently ignore"):
+            IncrementalMatcher(graph, plan="hk")
+
+    def test_capacitated_graph_needs_a_capacitated_plan(self):
+        graph = apply_capacity_spec(
+            uniform_random_bipartite(12, 12, avg_degree=2.0, seed=3), "fixed:2", seed=0
+        )
+        with pytest.raises(ValueError, match=r"'hk' would silently ignore"):
+            IncrementalMatcher(graph, plan="hk")
+
+    def test_delegated_only_plan_rejects_explicit_initial(self):
+        graph = apply_capacity_spec(
+            uniform_random_bipartite(12, 12, avg_degree=2.0, seed=3), "fixed:2", seed=0
+        )
+        initial = max_bipartite_matching(graph, "b-aug").matching
+        with pytest.raises(ValueError, match="drop the initial matching"):
+            IncrementalMatcher(graph, plan="b-expand", initial=initial)
+
+    def test_weighted_plan_tracks_scratch_weight(self):
+        graph = uniform_weights(
+            uniform_random_bipartite(30, 30, avg_degree=3.0, seed=7), seed=8
+        )
+        matcher = IncrementalMatcher(graph, plan="weighted-sap")
+        rng = np.random.default_rng(5)
+        updates = []
+        for _ in range(20):
+            u, v = int(rng.integers(30)), int(rng.integers(30))
+            if matcher.graph.has_edge(u, v):
+                updates.append(GraphUpdate.delete(u, v))
+            else:
+                updates.append(GraphUpdate.insert(u, v, weight=float(rng.integers(1, 50))))
+        summary = matcher.apply(updates)
+        assert summary["mode"] == "delegated"
+        snapshot = matcher.graph.snapshot()
+        scratch = max_bipartite_matching(snapshot, "weighted-sap")
+        assert matcher.cardinality == scratch.cardinality
+        assert is_valid_matching(snapshot, matcher.matching)
+
+    def test_capacitated_churn_stays_maximum(self):
+        # Vertex arrivals (with capacities), retirements and edge churn: the
+        # repaired b-matching must equal the flow oracle after every batch.
+        graph = apply_capacity_spec(
+            uniform_random_bipartite(14, 10, avg_degree=2.5, seed=9), "cols:2", seed=1
+        )
+        matcher = IncrementalMatcher(graph, plan="b-aug", batch_threshold=1)
+        rng = np.random.default_rng(11)
+        n_rows, n_cols = graph.shape
+        updates = []
+        for _ in range(40):
+            roll = rng.random()
+            if roll < 0.3:
+                updates.append(GraphUpdate.add_row())
+                u, n_rows = n_rows, n_rows + 1
+                updates.append(GraphUpdate.insert(u, int(rng.integers(n_cols))))
+            elif roll < 0.4:
+                updates.append(GraphUpdate.add_col(b=int(rng.integers(1, 4))))
+                v, n_cols = n_cols, n_cols + 1
+                updates.append(GraphUpdate.insert(int(rng.integers(n_rows)), v))
+            elif roll < 0.6:
+                updates.append(GraphUpdate.retire_row(int(rng.integers(n_rows))))
+            else:
+                updates.append(GraphUpdate.insert(
+                    int(rng.integers(n_rows)), int(rng.integers(n_cols))
+                ))
+        for batch in _chunks(updates, 8):
+            summary = matcher.apply(batch)
+            assert summary["mode"] == "delegated"
+            snapshot = matcher.graph.snapshot()
+            assert isinstance(matcher.matching, CapacitatedMatching)
+            assert is_valid_b_matching(snapshot, matcher.matching)
+            assert matcher.cardinality == max_b_matching_cardinality(snapshot)
+
+    def test_retire_row_in_normal_mode_repairs(self):
+        graph = uniform_random_bipartite(20, 20, avg_degree=3.0, seed=13)
+        matcher = IncrementalMatcher(graph, plan="hk", batch_threshold=10**9)
+        matcher.retire_row(0)
+        snapshot = matcher.graph.snapshot()
+        assert snapshot.row_degrees[0] == 0
+        assert is_maximum_matching(snapshot, matcher.matching)
+        matcher.retire_col(3)
+        snapshot = matcher.graph.snapshot()
+        assert is_maximum_matching(snapshot, matcher.matching)
+
+
+# --------------------------------------------- scenario replay determinism
+class TestScenarioReplayDeterminism:
+    def _replay(self, capsys, backend: str) -> str:
+        argv = [
+            "stream",
+            "--scenario", "task-routing",
+            "--seed", "5",
+            "--batch-size", "40",
+        ]
+        if backend:
+            argv += ["--backend", backend]
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_same_seed_replays_are_byte_identical(self, capsys):
+        assert self._replay(capsys, "") == self._replay(capsys, "")
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backends_serialise_byte_identically(self, capsys, backend):
+        # The whole point of dropping wall-clock and worker identity from
+        # the stream rows: replays are comparable across engine backends.
+        assert self._replay(capsys, "inline") == self._replay(capsys, backend)
+
+    def test_summary_reports_scenario_and_slo(self, capsys):
+        out = self._replay(capsys, "inline")
+        lines = [line for line in out.splitlines() if line]
+        events = [json.loads(line) for line in lines]
+        assert events[0]["type"] == "initial"
+        assert events[0]["scenario"] == "task-routing"
+        summary = events[-1]
+        assert summary["type"] == "summary"
+        assert "backend" not in summary
+        assert 0.0 <= summary["assignment_rate"] <= 1.0
+        assert summary["slo"] == pytest.approx(0.9)
+        assert summary["slo_met"] is True
+        batches = [e for e in events if e["type"] == "batch"]
+        assert batches and all("slo_met" in b for b in batches)

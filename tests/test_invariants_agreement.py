@@ -1,25 +1,31 @@
 """Cross-algorithm invariant suite.
 
-All ten registered maximum-matching algorithms implement the same
-mathematical object, so on any graph they must (a) return a valid matching
-and (b) agree on the cardinality (Theorem 1 of the paper: a matching is
-maximum iff it admits no augmenting path).  This suite sweeps that oracle
-over one instance per generator family plus the degenerate shapes, and over
-the warm-start paths (``initial=`` from cheap and Karp–Sipser), which the
-per-algorithm tests do not cover.
+All registered maximum-matching algorithms implement the same mathematical
+object, so on any graph they must (a) return a valid matching and (b) agree
+on the cardinality (Theorem 1 of the paper: a matching is maximum iff it
+admits no augmenting path).  This suite sweeps that oracle over one
+instance per generator family plus the degenerate shapes, and over the
+warm-start paths (``initial=`` from cheap and Karp–Sipser), which the
+per-algorithm tests do not cover.  The capacitated specs join the matrix
+through their b=1 delegation; on genuinely capacitated graphs they are
+checked against the independent flow oracle in ``tests/oracle.py``.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from oracle import max_b_matching_cardinality
+from repro.capacity import is_valid_b_matching
 from repro.core.api import MAXIMUM_ALGORITHMS, SPECS, max_bipartite_matching
 from repro.generators import (
+    apply_capacity_spec,
     chung_lu_bipartite,
     delaunay_like_graph,
     rmat_bipartite,
     road_network_graph,
     uniform_random_bipartite,
+    uniform_weights,
 )
 from repro.graph.builders import empty_graph
 from repro.seq.greedy import cheap_matching, karp_sipser_matching
@@ -29,6 +35,9 @@ from repro.seq.verify import is_valid_matching, maximum_matching_cardinality
 # their dual certificates from scratch, so they reject initial matchings).
 _WARMSTART_ALGORITHMS = tuple(
     name for name in MAXIMUM_ALGORITHMS if SPECS[name].accepts_initial
+)
+_CAPACITATED_ALGORITHMS = tuple(
+    name for name in MAXIMUM_ALGORITHMS if SPECS[name].capacitated
 )
 
 _FAMILIES = {
@@ -85,6 +94,40 @@ def test_warm_start_from_a_different_graph_is_rejected(name):
     initial = cheap_matching(other).matching
     with pytest.raises(ValueError, match="warm-start matching"):
         max_bipartite_matching(graph, algorithm=name, initial=initial)
+
+
+def test_warm_start_skip_reasons_are_recorded():
+    # The sweep above only covers accepts_initial specs.  The rest must not
+    # be silently skipped: each has to refuse a warm start with a reason
+    # that names the offending spec, so a sweep log shows *why* it sat out.
+    graph = uniform_random_bipartite(40, 40, avg_degree=3.0, seed=37)
+    initial = cheap_matching(graph).matching
+    skipped = {}
+    for name in set(MAXIMUM_ALGORITHMS) - set(_WARMSTART_ALGORITHMS):
+        with pytest.raises(TypeError, match="does not accept a warm-start") as excinfo:
+            max_bipartite_matching(graph, algorithm=name, initial=initial.copy())
+        skipped[name] = str(excinfo.value)
+    assert skipped, "expected at least the weighted and capacitated specs here"
+    for name, reason in skipped.items():
+        assert name in reason, (name, reason)
+
+
+def test_capacitated_specs_join_the_agreement_matrix():
+    # Column-capacitated weighted instance — the one shape all three
+    # capacitated specs support — checked against the independent flow
+    # oracle rather than against each other alone.
+    graph = uniform_weights(
+        uniform_random_bipartite(40, 12, avg_degree=3.0, seed=38), seed=39
+    )
+    graph = apply_capacity_spec(graph, "cols:3", seed=40)
+    reference = max_b_matching_cardinality(graph)
+    cardinalities = {}
+    for name in _CAPACITATED_ALGORITHMS:
+        result = max_bipartite_matching(graph, algorithm=name)
+        assert is_valid_b_matching(graph, result.matching), name
+        cardinalities[name] = result.cardinality
+    assert set(cardinalities) == {"b-expand", "b-aug", "b-auction"}
+    assert set(cardinalities.values()) == {reference}, cardinalities
 
 
 @pytest.mark.parametrize("heuristic", ["cheap", "karp-sipser"])

@@ -282,14 +282,22 @@ def test_apply_weight_spec_forms():
 
 
 # ------------------------------------------------------------- interactions
-def test_dynamic_overlay_rejects_weighted_graphs():
+def test_dynamic_overlay_carries_weights():
+    # The overlay used to reject weighted graphs outright; it now accepts
+    # them, and an insertion that omits its weight fails with an error that
+    # names the exact call (full coverage in tests/test_dynamic.py).
     from repro.dynamic import DynamicBipartiteGraph
 
     weighted = uniform_weights(
         uniform_random_bipartite(10, 10, avg_degree=2.0, seed=28), seed=1
     )
-    with pytest.raises(ValueError, match="does not support weighted"):
-        DynamicBipartiteGraph(weighted)
+    dyn = DynamicBipartiteGraph(weighted)
+    with pytest.raises(ValueError, match=r"insert_edge\(0, 1\) on weighted graph"):
+        dyn.insert_edge(0, 1)
+    if dyn.has_edge(0, 1):
+        dyn.delete_edge(0, 1)
+    dyn.insert_edge(0, 1, 42.0)
+    assert dyn.snapshot().edge_weight(0, 1) == 42.0
 
 
 def test_degenerate_shapes():
