@@ -34,6 +34,16 @@ regions, delimited by marker comments::
     # end hot-path
 
 An unclosed region (or a stray ``# end hot-path``) is itself a violation.
+
+An opening marker may name the compiled twin that replaces the region when
+dispatch is enabled (the PR 10 compiled tier)::
+
+    # hot-path compiled=alternating_level_bfs
+
+The annotation is carried to the rules as ``LintContext.hot_shims``;
+RPR004 validates the named entry against the dispatch registry and flags
+dispatch lookups (``implementation_for``) *inside* regions — the lookup
+belongs above the loop, next to the region, not in it.
 """
 
 from __future__ import annotations
@@ -57,7 +67,7 @@ __all__ = [
 _DIRECTIVE = re.compile(
     r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
 )
-_HOT_OPEN = re.compile(r"#\s*hot-path\s*$")
+_HOT_OPEN = re.compile(r"#\s*hot-path(?:\s+compiled=(?P<entry>[A-Za-z0-9_.]+))?\s*$")
 _HOT_CLOSE = re.compile(r"#\s*end\s+hot-path\s*$")
 
 
@@ -83,6 +93,9 @@ class LintContext:
     source: str
     #: Inclusive (open_line, close_line) pairs of ``# hot-path`` regions.
     hot_regions: list[tuple[int, int]] = field(default_factory=list)
+    #: Regions whose opening marker carried ``compiled=<entry>``: the region
+    #: pair mapped to the named dispatch entry.
+    hot_shims: dict[tuple[int, int], str] = field(default_factory=dict)
     #: Path components after the ``repro`` package root (e.g. ``("seq", "greedy.py")``).
     module_parts: tuple[str, ...] = ()
 
@@ -117,11 +130,12 @@ def _module_parts(path: str) -> tuple[str, ...]:
 
 def _scan_comments(
     source: str, path: str
-) -> tuple[_Suppressions, list[tuple[int, int]], list[Violation]]:
-    """Extract suppression directives and hot-path regions from the comments."""
+) -> tuple[_Suppressions, list[tuple[int, int]], dict[tuple[int, int], str], list[Violation]]:
+    """Extract suppressions, hot-path regions and shim annotations from the comments."""
     suppressions = _Suppressions()
     regions: list[tuple[int, int]] = []
-    open_stack: list[int] = []
+    shims: dict[tuple[int, int], str] = {}
+    open_stack: list[tuple[int, str | None]] = []
     violations: list[Violation] = []
     last_line = source.count("\n") + 1
     try:
@@ -138,23 +152,29 @@ def _scan_comments(
                     suppressions.file_wide |= codes
                 else:
                     suppressions.by_line.setdefault(line, set()).update(codes)
-            if _HOT_OPEN.search(text):
-                open_stack.append(line)
+            open_match = _HOT_OPEN.search(text)
+            if open_match:
+                open_stack.append((line, open_match.group("entry")))
             elif _HOT_CLOSE.search(text):
                 if not open_stack:
                     violations.append(
                         Violation(path, line, "RPR004", "stray `# end hot-path` with no open region")
                     )
                 else:
-                    regions.append((open_stack.pop(), line))
+                    opened, entry = open_stack.pop()
+                    regions.append((opened, line))
+                    if entry is not None:
+                        shims[(opened, line)] = entry
     except tokenize.TokenError:
         pass  # the ast.parse error path reports the syntax problem
-    for line in open_stack:
+    for line, entry in open_stack:
         violations.append(
             Violation(path, line, "RPR004", "unclosed `# hot-path` region (missing `# end hot-path`)")
         )
         regions.append((line, last_line))
-    return suppressions, regions, violations
+        if entry is not None:
+            shims[(line, last_line)] = entry
+    return suppressions, regions, shims, violations
 
 
 def lint_source(source: str, path: str = "<string>", rules=None) -> list[Violation]:
@@ -167,12 +187,13 @@ def lint_source(source: str, path: str = "<string>", rules=None) -> list[Violati
         tree = ast.parse(source)
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 1, "RPR000", f"syntax error: {exc.msg}")]
-    suppressions, regions, violations = _scan_comments(source, path)
+    suppressions, regions, shims, violations = _scan_comments(source, path)
     ctx = LintContext(
         path=path,
         tree=tree,
         source=source,
         hot_regions=regions,
+        hot_shims=shims,
         module_parts=_module_parts(path),
     )
     for rule in rules.values():

@@ -13,8 +13,11 @@ RPR003    In lock-owning classes of ``engine``/``server``/``service``,
           every ``self.*`` attribute write outside ``__init__`` must sit
           inside a ``with self.<lock>:`` block.
 RPR004    No property-accessor calls (``col_degrees``, ``csr_lists()``,
-          ``column_neighbors()`` …) inside annotated ``# hot-path`` regions
-          (the PR 5 convention: hoist before the loop).
+          ``column_neighbors()`` …) and no compiled-dispatch lookups
+          (``implementation_for()``) inside annotated ``# hot-path``
+          regions (the PR 5 convention: hoist before the loop).  A
+          ``# hot-path compiled=<entry>`` annotation must name a
+          registered :mod:`repro.compiled.dispatch` entry.
 RPR005    No bare ``except:``; no silently swallowed broad/engine failures
           (``except Exception: pass`` and friends).
 RPR006    No use of the deprecated ``repro.core.api.ALGORITHMS`` mapping —
@@ -56,6 +59,7 @@ _DETERMINISM_PACKAGES = {
     "sharded",
     "dynamic",
     "capacity",
+    "compiled",
 }
 _DETERMINISM_FILES = {("graph", "frontier.py"), ("engine", "faults.py")}
 
@@ -283,25 +287,72 @@ def _check_lock_discipline(ctx: LintContext) -> list[Violation]:
 # --------------------------------------------------------------------------
 _HOT_BANNED_PROPERTIES = {"col_degrees", "row_degrees"}
 _HOT_BANNED_CALLS = {"csr_lists", "column_neighbors", "row_neighbors"}
+#: Compiled-dispatch lookups belong *above* the region (one lookup per call,
+#: hoisted out of the wave/level loop), never inside it.
+_HOT_DISPATCH_CALLS = {"implementation_for"}
+
+
+def _known_compiled_entries() -> frozenset[str] | None:
+    """Registered dispatch names, or ``None`` when the registry can't load.
+
+    The linter stays importable on a minimal (even numpy-less) install, so
+    a failing import skips annotation validation instead of crashing.
+    """
+    try:
+        from repro.compiled import dispatch
+    except ImportError:
+        return None
+    return frozenset(dispatch.registered())
+
+
+def _call_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
 
 
 def _check_hot_path(ctx: LintContext) -> list[Violation]:
-    if not ctx.hot_regions:
+    if not ctx.hot_regions and not ctx.hot_shims:
         return []
     out = []
+    known = _known_compiled_entries() if ctx.hot_shims else None
+    for (open_line, _), entry in sorted(ctx.hot_shims.items()):
+        if known is not None and entry not in known:
+            out.append(
+                Violation(
+                    ctx.path,
+                    open_line,
+                    "RPR004",
+                    f"`compiled={entry}` names no registered dispatch entry "
+                    f"(known: {', '.join(sorted(known))})",
+                )
+            )
     for node in ast.walk(ctx.tree):
         line = getattr(node, "lineno", None)
         if line is None or not ctx.in_hot_region(line):
             continue
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            if node.func.attr in _HOT_BANNED_CALLS:
+        if isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            if isinstance(node.func, ast.Attribute) and name in _HOT_BANNED_CALLS:
                 out.append(
                     Violation(
                         ctx.path,
                         line,
                         "RPR004",
-                        f"accessor call `.{node.func.attr}()` inside a `# hot-path` region — "
+                        f"accessor call `.{name}()` inside a `# hot-path` region — "
                         "hoist it above the loop (PR 5 convention)",
+                    )
+                )
+            elif name in _HOT_DISPATCH_CALLS:
+                out.append(
+                    Violation(
+                        ctx.path,
+                        line,
+                        "RPR004",
+                        f"compiled-dispatch lookup `{name}()` inside a `# hot-path` region — "
+                        "resolve the twin once, above the loop",
                     )
                 )
         elif isinstance(node, ast.Attribute) and node.attr in _HOT_BANNED_PROPERTIES:
@@ -414,7 +465,7 @@ RULES: dict[str, Rule] = {
         Rule("RPR001", "wall-clock", "no wall-clock reads in determinism-scoped modules", _check_wall_clock),
         Rule("RPR002", "unseeded-rng", "no unseeded randomness in determinism-scoped modules", _check_unseeded_rng),
         Rule("RPR003", "lock-discipline", "self-attribute writes in lock-owning classes must hold the lock", _check_lock_discipline),
-        Rule("RPR004", "hot-path-accessors", "no accessor calls inside `# hot-path` regions", _check_hot_path),
+        Rule("RPR004", "hot-path-accessors", "no accessor calls or dispatch lookups inside `# hot-path` regions", _check_hot_path),
         Rule("RPR005", "swallowed-failures", "no bare `except:` or silently swallowed broad failures", _check_exceptions),
         Rule("RPR006", "deprecated-api", "no use of the deprecated ALGORITHMS mapping", _check_deprecated_api),
     )

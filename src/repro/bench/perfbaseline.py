@@ -106,9 +106,15 @@ def _warmup() -> None:
     The first solve of a process pays one-time costs (lazy imports, NumPy
     dispatch caches, code-object warm-up) that would otherwise land on the
     first (instance, algorithm) pair and read as a 2-3x wall regression.
+    With the compiled tier installed the dominant one-time cost is numba
+    JIT compilation, so every registered twin is compiled first
+    (:func:`repro.compiled.dispatch.warm_up`) — the throwaway solves then
+    only exercise the remaining interpreter-level caches.
     """
+    from repro.compiled import dispatch
     from repro.generators.random_bipartite import uniform_random_bipartite
 
+    dispatch.warm_up()
     graph = uniform_random_bipartite(64, 64, avg_degree=4.0, seed=0)
     for plan in _perf_plans().values():
         plan.run(graph)

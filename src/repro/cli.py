@@ -635,7 +635,60 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_calibrate(args: argparse.Namespace) -> int:
+    from repro.compiled.calibrate import calibrate
+
+    if args.compare or args.update:
+        print(
+            "error: --calibrate captures cost-model fits, not a perf baseline; "
+            "it cannot be combined with --compare or --update",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards is not None:
+        print("error: --calibrate does not support --shards", file=sys.stderr)
+        return 2
+    try:
+        doc = calibrate(profile=args.profile, seed=args.seed, repeats=args.repeats)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        Path(args.output).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    if args.format == "json":
+        try:
+            print(json.dumps(doc, indent=2))
+        except BrokenPipeError:
+            _silence_stdout()
+        return 0
+    numba = doc["numba"]
+    print(
+        f"calibration: tier={doc['tier']} profile={doc['profile']} seed={doc['seed']} "
+        f"repeats={doc['repeats']} instances={len(doc['instances'])}"
+    )
+    print(
+        "  numba: "
+        + (f"available ({numba['version']})" if numba["available"] else "not installed")
+    )
+    for name, kernel in doc["kernels"].items():
+        if kernel["constant"] is None:
+            print(f"  {name:<22} {kernel['family']:<9} no usable points")
+            continue
+        print(
+            f"  {name:<22} {kernel['family']:<9} points={kernel['points']} "
+            f"constant={kernel['constant']:10.3e}  r2={kernel['r2']:7.3f}  "
+            f"rms log10 residual={kernel['rms_log10_residual']:.3f}"
+        )
+    if doc["most_divergent"]:
+        print("most divergent from the fitted centre: " + ", ".join(doc["most_divergent"]))
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.compiled.dispatch import capability_report
+
+    if args.calibrate:
+        return _cmd_perf_calibrate(args)
     try:
         baseline = (
             perfbaseline.load_baseline(args.compare) if args.compare else None
@@ -679,7 +732,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             perfbaseline.save_baseline(args.update, current)
 
     if args.format == "json":
-        payload = {"capture": current}
+        payload = {"capture": current, "backends": capability_report()}
         if comparison is not None:
             payload["comparison"] = {
                 "baseline": args.compare,
@@ -699,6 +752,18 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     else:
         print(f"perf capture: profile={current['profile']} seed={current['seed']} "
               f"repeats={current['repeats']}")
+        caps = capability_report()
+        numba = caps["numba"]
+        print(
+            "backends: numpy "
+            + caps["numpy"]["version"]
+            + (
+                f", numba {numba['version']} (compiled tier "
+                + ("enabled)" if caps["compiled_dispatch_enabled"] else "disabled)")
+                if numba["available"]
+                else ", numba not installed (numpy tier)"
+            )
+        )
         for name, agg in current["aggregate"].items():
             print(
                 f"  {name:<8} geomean wall {agg['geomean_wall_seconds'] * 1e3:8.3f} ms   "
@@ -980,6 +1045,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help=f"modeled-seconds regression ratio (default "
                            f"{perfbaseline.DEFAULT_MODELED_TOLERANCE}, scaled "
                            f"{perfbaseline.CROSS_PROFILE_SLACK}x across profiles)")
+    perf.add_argument("--calibrate", action="store_true",
+                      help="fit measured per-kernel wall time against the cost-model "
+                           "predictions and report the most divergent kernels "
+                           "(incompatible with --compare / --update / --shards); "
+                           "--output writes the repro-calibration/1 document")
     perf.add_argument("--format", default="table", choices=("table", "json"))
     perf.set_defaults(func=_cmd_perf)
 

@@ -1,0 +1,32 @@
+"""Optional compiled execution tier: numba twins of the hot kernels.
+
+``pip install .[compiled]`` pulls in numba; without it this package still
+imports (the twins run as plain Python if forced) and the dispatch layer
+answers ``None`` so every caller keeps its vectorized NumPy path.  See
+:mod:`repro.compiled.dispatch` for the routing rules and
+:mod:`repro.compiled.calibrate` for the modeled-vs-measured calibration
+loop behind ``repro perf --calibrate``.
+"""
+
+from repro.compiled._jit import NUMBA_AVAILABLE, NUMBA_VERSION
+from repro.compiled.dispatch import (
+    capability_report,
+    enabled,
+    implementation_for,
+    override,
+    recording,
+    registered,
+    warm_up,
+)
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "NUMBA_VERSION",
+    "capability_report",
+    "enabled",
+    "implementation_for",
+    "override",
+    "recording",
+    "registered",
+    "warm_up",
+]

@@ -1,0 +1,54 @@
+"""Numba detection and the shared ``@jit`` decorator for the compiled tier.
+
+The compiled tier is strictly optional: numba ships behind the
+``[compiled]`` extra (``pip install .[compiled]``) and a numpy-only
+install must import, run, and pass tests unchanged.  This module is the
+single place that decides which world we are in:
+
+* numba present -- ``jit`` is ``numba.njit(cache=True)`` and
+  :data:`NUMBA_AVAILABLE` is ``True``.  ``cache=True`` persists the
+  compiled machine code next to the source so repeated processes (the
+  perf harness, CI jobs) pay the compile cost once.
+* numba absent -- ``jit`` is an identity decorator and the twin kernels
+  run as plain Python.  They are never *dispatched to* in that case (see
+  :mod:`repro.compiled.dispatch`), but tests can still force-enable them
+  with :func:`repro.compiled.dispatch.override` to prove the scalar
+  ports bit-identical to the vectorized NumPy paths without numba in the
+  environment.
+
+Either way the decorated function exposes ``.py_func`` (numba sets it on
+the dispatcher; the fallback sets it to the function itself), so parity
+tests can always reach the pure-Python body.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+try:  # pragma: no cover - exercised only when numba is installed (CI compiled-smoke)
+    import numba
+
+    NUMBA_AVAILABLE = True
+    NUMBA_VERSION: str | None = numba.__version__
+
+    def jit(fn: _F) -> _F:
+        """Compile ``fn`` with ``numba.njit(cache=True)``."""
+
+        return numba.njit(cache=True)(fn)
+
+except ImportError:
+    numba = None  # type: ignore[assignment]
+
+    NUMBA_AVAILABLE = False
+    NUMBA_VERSION = None
+
+    def jit(fn: _F) -> _F:
+        """Identity decorator: the twin kernel runs as plain Python."""
+
+        fn.py_func = fn  # mirror numba's dispatcher attribute
+        return fn
+
+
+__all__ = ["NUMBA_AVAILABLE", "NUMBA_VERSION", "jit"]

@@ -1,0 +1,267 @@
+"""Numba twins of the hot frontier primitives in :mod:`repro.graph.frontier`.
+
+Every function here is a scalar-loop port of a vectorized NumPy path and
+must be *bit-identical* to it: same output arrays, same dtypes, same
+``edges_scanned`` counters.  The ports deliberately mirror the NumPy
+semantics rather than "improving" them -- e.g. ``alternating_level_bfs``
+marks a hit under the exact mate comparison the vectorized path uses,
+and ``distance_label_bfs`` preserves the duplicate-mate multiset the
+fancy-indexed NumPy write produces.
+
+The module never imports :mod:`repro.graph` (the dependency points the
+other way: the frontier shims look these twins up through
+:mod:`repro.compiled.dispatch`), so the sentinel constants are mirrored
+locally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiled._jit import jit
+
+_UNMATCHED = -1  # mirrors repro.graph.matching.UNMATCHED
+_INF = np.iinfo(np.int64).max
+
+
+@jit
+def expand_frontier(ptr, ind, frontier):
+    """Scalar twin of :func:`repro.graph.frontier.expand_frontier`.
+
+    Emits ``(targets, origins)`` in frontier-major, adjacency-minor
+    order -- the exact order ``np.repeat`` + sliced gathers produce.
+    """
+    total = np.int64(0)
+    for i in range(frontier.shape[0]):
+        v = frontier[i]
+        total += ptr[v + 1] - ptr[v]
+    targets = np.empty(total, np.int64)
+    origins = np.empty(total, np.int64)
+    out = 0
+    for i in range(frontier.shape[0]):
+        v = frontier[i]
+        for idx in range(ptr[v], ptr[v + 1]):
+            targets[out] = ind[idx]
+            origins[out] = v
+            out += 1
+    return targets, origins
+
+
+@jit
+def first_occurrence_mask(values):
+    """Scalar twin of :func:`repro.graph.frontier.first_occurrence_mask`.
+
+    ``True`` exactly at the first occurrence (in scan order) of each
+    distinct value.  Uses a span-marking table when the value range is
+    modest (it always is for vertex ids), falling back to a sort for
+    pathological ranges.
+    """
+    n = values.shape[0]
+    mask = np.zeros(n, np.bool_)
+    if n == 0:
+        return mask
+    vmin = values[0]
+    vmax = values[0]
+    for i in range(n):
+        v = values[i]
+        if v < vmin:
+            vmin = v
+        if v > vmax:
+            vmax = v
+    span = vmax - vmin + 1
+    if span <= max(1024, 4 * n):
+        seen = np.zeros(span, np.bool_)
+        for i in range(n):
+            slot = values[i] - vmin
+            if not seen[slot]:
+                seen[slot] = True
+                mask[i] = True
+        return mask
+    # Huge sparse range: sort (stability not required -- for each run of
+    # equal values we keep the smallest original index).
+    order = np.argsort(values)
+    i = 0
+    while i < n:
+        j = i
+        first = order[i]
+        v = values[first]
+        while j + 1 < n and values[order[j + 1]] == v:
+            j += 1
+            if order[j] < first:
+                first = order[j]
+        mask[first] = True
+        i = j + 1
+    return mask
+
+
+@jit
+def multi_source_bfs(ptr_a, ind_a, ptr_b, ind_b, sources, n_a, n_b):
+    """Scalar twin of the level-synchronous core of ``multi_source_bfs``.
+
+    Side ``a`` is the source side.  Returns
+    ``(level_a, level_b, parent_a, parent_b, edges_scanned)`` with the
+    same first-encounter parent choice as the vectorized path: within a
+    level, the winning origin for a vertex is its first appearance in
+    frontier-major, adjacency-minor order.
+    """
+    level_a = np.full(n_a, _INF, np.int64)
+    level_b = np.full(n_b, _INF, np.int64)
+    parent_a = np.full(n_a, -1, np.int64)
+    parent_b = np.full(n_b, -1, np.int64)
+    cap = n_a if n_a > n_b else n_b
+    frontier = np.empty(cap, np.int64)
+    nxt = np.empty(cap, np.int64)
+    fsize = 0
+    for i in range(sources.shape[0]):
+        s = sources[i]
+        if level_a[s] == _INF:
+            level_a[s] = 0
+            frontier[fsize] = s
+            fsize += 1
+    edges = np.int64(0)
+    depth = np.int64(0)
+    on_a = True
+    while fsize > 0:
+        nsize = 0
+        if on_a:
+            for i in range(fsize):
+                v = frontier[i]
+                for idx in range(ptr_a[v], ptr_a[v + 1]):
+                    edges += 1
+                    u = ind_a[idx]
+                    if level_b[u] == _INF:
+                        level_b[u] = depth + 1
+                        parent_b[u] = v
+                        nxt[nsize] = u
+                        nsize += 1
+        else:
+            for i in range(fsize):
+                v = frontier[i]
+                for idx in range(ptr_b[v], ptr_b[v + 1]):
+                    edges += 1
+                    u = ind_b[idx]
+                    if level_a[u] == _INF:
+                        level_a[u] = depth + 1
+                        parent_a[u] = v
+                        nxt[nsize] = u
+                        nsize += 1
+        frontier, nxt = nxt, frontier
+        fsize = nsize
+        depth += 1
+        on_a = not on_a
+    return level_a, level_b, parent_a, parent_b, edges
+
+
+@jit
+def alternating_level_bfs(col_ptr, col_ind, row_match, col_match):
+    """Scalar twin of :func:`repro.graph.frontier.alternating_level_bfs`.
+
+    Same contract as the NumPy path: ``level`` over columns, shortest
+    augmenting-path length (or ``_INF``), and total edges scanned.
+    """
+    n_cols = col_ptr.shape[0] - 1
+    level = np.full(n_cols, _INF, np.int64)
+    frontier = np.empty(n_cols, np.int64)
+    nxt = np.empty(n_cols, np.int64)
+    fsize = 0
+    for v in range(n_cols):
+        if col_match[v] == _UNMATCHED:
+            level[v] = 0
+            frontier[fsize] = v
+            fsize += 1
+    shortest = _INF
+    edges = np.int64(0)
+    depth = np.int64(0)
+    while fsize > 0:
+        nsize = 0
+        hit = False
+        for i in range(fsize):
+            v = frontier[i]
+            for idx in range(col_ptr[v], col_ptr[v + 1]):
+                edges += 1
+                u = col_ind[idx]
+                w = row_match[u]
+                if w == _UNMATCHED:
+                    hit = True
+                elif w >= 0 and level[w] == _INF:
+                    level[w] = depth + 1
+                    nxt[nsize] = w
+                    nsize += 1
+        if hit and shortest == _INF:
+            shortest = depth + 1
+        frontier, nxt = nxt, frontier
+        fsize = nsize
+        depth += 1
+        if depth >= shortest:
+            break
+    return level, shortest, edges
+
+
+@jit
+def distance_label_bfs(row_ptr, row_ind, row_match, col_match, psi_row, psi_col, infinity):
+    """Scalar twin of :func:`repro.graph.frontier.distance_label_bfs`.
+
+    Fills ``psi_row`` / ``psi_col`` in place and returns
+    ``(max_level, edges_scanned)``.  Per level: pass 1 labels the
+    first-encounter set of fresh columns (identical to the NumPy
+    ``unique`` of unlabeled targets), pass 2 first *collects* candidate
+    mates against the pre-write ``psi_row`` state -- preserving the
+    duplicate multiset the fancy-indexed NumPy write sees -- and only
+    then writes their labels.
+    """
+    n_rows = row_ptr.shape[0] - 1
+    n_cols = psi_col.shape[0]
+    psi_row[:] = infinity
+    psi_col[:] = infinity
+    # A non-injective ``col_match`` can put up to ``n_cols`` (duplicated)
+    # rows in one frontier, so the row buffers take the larger dimension.
+    cap = n_rows if n_rows > n_cols else n_cols
+    frontier = np.empty(cap, np.int64)
+    nxt = np.empty(cap, np.int64)
+    fresh = np.empty(n_cols, np.int64)
+    fsize = 0
+    for u in range(n_rows):
+        if row_match[u] == _UNMATCHED:
+            psi_row[u] = 0
+            frontier[fsize] = u
+            fsize += 1
+    level = np.int64(0)
+    max_level = np.int64(0)
+    edges = np.int64(0)
+    while fsize > 0:
+        nfresh = 0
+        for i in range(fsize):
+            u = frontier[i]
+            for idx in range(row_ptr[u], row_ptr[u + 1]):
+                edges += 1
+                c = row_ind[idx]
+                if psi_col[c] == infinity:
+                    psi_col[c] = level + 1
+                    fresh[nfresh] = c
+                    nfresh += 1
+        if nfresh == 0:
+            break
+        nsize = 0
+        for i in range(nfresh):
+            w = col_match[fresh[i]]
+            if w >= 0 and psi_row[w] == infinity:
+                nxt[nsize] = w
+                nsize += 1
+        if nsize == 0:
+            break
+        for i in range(nsize):
+            psi_row[nxt[i]] = level + 2
+        max_level = level + 2
+        frontier, nxt = nxt, frontier
+        fsize = nsize
+        level += 2
+    return max_level, edges
+
+
+__all__ = [
+    "alternating_level_bfs",
+    "distance_label_bfs",
+    "expand_frontier",
+    "first_occurrence_mask",
+    "multi_source_bfs",
+]

@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from repro.compiled import dispatch as _compiled
 from repro.graph.bipartite import BipartiteGraph
 from repro.gpusim.device import DeviceSpec, VirtualGPU
 from repro.matching import UNMATCHED, Matching, MatchingResult
@@ -121,10 +122,27 @@ def _augment_phase(
     if len(start_cols) == 0:
         gpu.charge_kernel(kernel_name, np.ones(1))
         return 0
+    fn = _compiled.implementation_for("ghkdw_augment")
+    if fn is not None and not _compiled.recording(mu_row, mu_col, level):
+        thread_work, augmented = fn(
+            graph.col_ptr,
+            graph.col_ind,
+            mu_row,
+            mu_col,
+            level,
+            start_cols,
+            restrict_levels,
+            use_level,
+            shared_claims,
+            graph.n_rows,
+        )
+        gpu.charge_kernel(kernel_name, thread_work)
+        return int(augmented)
     row_claimed = np.zeros(graph.n_rows, dtype=bool)
     thread_work = np.ones(len(start_cols), dtype=np.float64)
     augmented = 0
 
+    # hot-path compiled=ghkdw_augment
     for t, start in enumerate(start_cols):
         if not shared_claims:
             row_claimed = np.zeros(graph.n_rows, dtype=bool)
@@ -176,6 +194,7 @@ def _augment_phase(
                 if path_rows:
                     path_rows.pop()
         thread_work[t] = work
+    # end hot-path
     gpu.charge_kernel(kernel_name, thread_work)
     return augmented
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.compiled import dispatch as _compiled
 from repro.graph.bipartite import BipartiteGraph
 from repro.gpusim.kernel import wave_barrier
 from repro.gpusim.primitives import device_exclusive_scan
@@ -170,6 +171,19 @@ def global_relabel_kernel(
     Returns ``(u_added, thread_work)`` where ``u_added`` reports whether any
     row received a new label (the loop-continuation flag of Algorithm 4).
     """
+    fn = _compiled.implementation_for("global_relabel")
+    if fn is not None and not _compiled.recording(mu_row, mu_col, psi_row, psi_col):
+        u_added, thread_work = fn(
+            graph.row_ptr,
+            graph.row_ind,
+            mu_row,
+            mu_col,
+            psi_row,
+            psi_col,
+            c_level,
+            graph.infinity_label,
+        )
+        return bool(u_added), thread_work
     infinity = graph.infinity_label
     thread_work = np.ones(graph.n_rows, dtype=np.float64)
     frontier = np.flatnonzero(psi_row == c_level)
@@ -233,6 +247,18 @@ def _push_wave(
 
     Returns the per-column scanned-edge counts for the wave.
     """
+    fn = _compiled.implementation_for("push_wave")
+    if fn is not None and not _compiled.recording(mu_row, mu_col, psi_row, psi_col):
+        return fn(
+            graph.col_ptr,
+            graph.col_ind,
+            psi_row,
+            psi_col,
+            mu_row,
+            mu_col,
+            wave_cols,
+            graph.infinity_label,
+        )
     psi_min, u_min, scanned = _min_neighbor_scan(graph, psi_row, psi_col, wave_cols)
     pushable = psi_min < graph.infinity_label
     # Columns whose every neighbour is unreachable are retired (µ(v) ← −2).
@@ -441,8 +467,34 @@ def push_kernel_active_list(
         return thread_work
     infinity = graph.infinity_label
 
+    # Dispatch decision hoisted out of the wave loop (RPR004 flags lookups
+    # inside hot-path regions); the compiled twin keeps the same
+    # read-before-write wave structure as the vectorized body below.
+    fn = _compiled.implementation_for("push_active_wave")
+    use_compiled = fn is not None and not _compiled.recording(
+        mu_row, mu_col, psi_row, psi_col, ac, ap, ia
+    )
+
     for wave in _wave_slices(len(all_slots), wave_size):
         slots = all_slots[wave]
+        if use_compiled:
+            scanned = fn(
+                graph.col_ptr,
+                graph.col_ind,
+                psi_row,
+                psi_col,
+                mu_row,
+                mu_col,
+                ac,
+                ap,
+                ia,
+                slots,
+                loop,
+                infinity,
+            )
+            thread_work[slots] += scanned
+            wave_barrier(mu_row, mu_col, psi_row, psi_col, ac, ap)
+            continue
         cols = ac[slots]
         # All of the wave's reads of mu_row / psi_row (the scan and the
         # old-match gather below) complete before its first write, so the

@@ -12,13 +12,15 @@ the library's execution surface the same shape:
 * :class:`~repro.engine.handles.JobHandle` — a future with typed status
   (``ok`` / ``failed`` / ``cancelled`` / ``timeout``) and captured errors,
   so one raising job never aborts its batch;
-* four :class:`~repro.engine.backends.ExecutionBackend` implementations:
+* five :class:`~repro.engine.backends.ExecutionBackend` implementations:
   :class:`~repro.engine.backends.InlineBackend` (synchronous),
   :class:`~repro.engine.backends.ThreadBackend` (persistent thread pool),
   :class:`~repro.engine.process.ProcessPoolBackend` (persistent process
-  pool shipping resolved plans, true per-job timings) and
+  pool shipping resolved plans, true per-job timings),
   :class:`~repro.engine.device.DevicePoolBackend` (multiplexes jobs over a
-  pool of :class:`~repro.gpusim.VirtualGPU` instances).
+  pool of :class:`~repro.gpusim.VirtualGPU` instances) and
+  :class:`~repro.engine.backends.CompiledBackend` (synchronous, but
+  requires the numba-compiled kernel tier and pre-compiles every twin).
 
 All backends produce bit-identical :class:`~repro.matching.MatchingResult`
 objects for the same job list.  The batched :mod:`repro.service` is a thin
@@ -36,7 +38,12 @@ Quickstart
 True
 """
 
-from repro.engine.backends import ExecutionBackend, InlineBackend, ThreadBackend
+from repro.engine.backends import (
+    CompiledBackend,
+    ExecutionBackend,
+    InlineBackend,
+    ThreadBackend,
+)
 from repro.engine.device import DevicePoolBackend
 from repro.engine.engine import (
     BACKEND_NAMES,
@@ -61,6 +68,7 @@ from repro.engine.process import ProcessPoolBackend
 
 __all__ = [
     "BACKEND_NAMES",
+    "CompiledBackend",
     "DevicePoolBackend",
     "Engine",
     "EngineSaturatedError",

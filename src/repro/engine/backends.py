@@ -4,9 +4,9 @@ An :class:`ExecutionBackend` receives :class:`~repro.engine.handles.JobHandle`
 objects and fulfils them; it never raises for a failing job — runner errors
 are captured on the handle, which is what makes batches failure-isolated.
 This module holds the protocol, the shared :func:`run_handle` driver and the
-two simplest backends (:class:`InlineBackend`, :class:`ThreadBackend`); the
-process- and device-pool backends live in :mod:`repro.engine.process` and
-:mod:`repro.engine.device`.
+in-process backends (:class:`InlineBackend`, :class:`ThreadBackend`,
+:class:`CompiledBackend`); the process- and device-pool backends live in
+:mod:`repro.engine.process` and :mod:`repro.engine.device`.
 """
 
 from __future__ import annotations
@@ -21,7 +21,14 @@ from repro.core.api import ExecutionPlan
 from repro.engine import execution
 from repro.engine.handles import JobFailure, JobHandle, JobStatus
 
-__all__ = ["ExecutionBackend", "InlineBackend", "PooledBackend", "ThreadBackend", "run_handle"]
+__all__ = [
+    "CompiledBackend",
+    "ExecutionBackend",
+    "InlineBackend",
+    "PooledBackend",
+    "ThreadBackend",
+    "run_handle",
+]
 
 
 @runtime_checkable
@@ -80,6 +87,37 @@ class InlineBackend:
     """
 
     name = "inline"
+
+    def submit(self, handle: JobHandle) -> None:
+        run_handle(handle, self.name)
+
+    def shutdown(self, wait: bool = True) -> None:
+        pass
+
+
+class CompiledBackend:
+    """Synchronous execution with the numba-compiled kernel tier guaranteed.
+
+    Behaves like :class:`InlineBackend` at submit time — the hot kernels
+    already dispatch to their compiled twins on *every* backend whenever
+    numba is importable (see :mod:`repro.compiled.dispatch`) — but makes
+    the compiled tier an explicit requirement: construction fails with an
+    actionable error when numba is missing instead of silently running the
+    NumPy paths, and warms (compiles) every registered twin up front so no
+    submitted job pays one-time JIT cost.
+    """
+
+    name = "compiled"
+
+    def __init__(self) -> None:
+        from repro.compiled import dispatch
+
+        if not dispatch.NUMBA_AVAILABLE:
+            raise ValueError(
+                "backend 'compiled' requires numba, which is not installed; "
+                "install the compiled extra: pip install 'repro-gpr-matching[compiled]'"
+            )
+        dispatch.warm_up()
 
     def submit(self, handle: JobHandle) -> None:
         run_handle(handle, self.name)

@@ -27,7 +27,12 @@ import weakref
 from collections.abc import Iterable, Iterator, Sequence
 
 from repro.core.api import ExecutionPlan
-from repro.engine.backends import ExecutionBackend, InlineBackend, ThreadBackend
+from repro.engine.backends import (
+    CompiledBackend,
+    ExecutionBackend,
+    InlineBackend,
+    ThreadBackend,
+)
 from repro.engine.device import DevicePoolBackend
 from repro.engine.execution import check_warm_start, resolve_job_plan
 from repro.engine.handles import JobHandle, JobStatus
@@ -44,7 +49,7 @@ __all__ = [
 ]
 
 #: Registry names accepted by :func:`create_backend` / ``Engine(backend=...)``.
-BACKEND_NAMES = ("inline", "thread", "process", "device")
+BACKEND_NAMES = ("inline", "thread", "process", "device", "compiled")
 
 
 class EngineSaturatedError(RuntimeError):
@@ -78,6 +83,8 @@ def create_backend(
     key = backend.strip().lower()
     if key == "inline":
         return InlineBackend()
+    if key == "compiled":
+        return CompiledBackend()
     if key == "thread":
         return ThreadBackend(max_workers=max_workers)
     if key == "process":
@@ -124,7 +131,8 @@ class Engine:
     ----------
     backend:
         A backend name (``"inline"`` / ``"thread"`` / ``"process"`` /
-        ``"device"``) or a ready :class:`ExecutionBackend` instance.
+        ``"device"`` / ``"compiled"``) or a ready :class:`ExecutionBackend`
+        instance.
     max_workers / devices / device_factory:
         Forwarded to :func:`create_backend` when ``backend`` is a name.
     default_timeout:

@@ -52,6 +52,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compiled import dispatch as _compiled
+
 __all__ = [
     "BFSResult",
     "alternating_level_bfs",
@@ -97,6 +99,9 @@ def expand_frontier(ptr: np.ndarray, ind: np.ndarray, frontier: np.ndarray):
     frontier = np.asarray(frontier, dtype=np.int64)
     if len(frontier) == 0:
         return _EMPTY, _EMPTY
+    fn = _compiled.implementation_for("expand_frontier")
+    if fn is not None and not _compiled.recording(ptr, ind, frontier):
+        return fn(ptr, ind, frontier)
     starts = ptr[frontier]
     degrees = ptr[frontier + 1] - starts
     total = int(degrees.sum())
@@ -118,6 +123,14 @@ def first_occurrence_mask(values: np.ndarray) -> np.ndarray:
     n = len(values)
     if n == 0:
         return np.zeros(0, dtype=bool)
+    fn = _compiled.implementation_for("first_occurrence_mask")
+    if (
+        fn is not None
+        and isinstance(values, np.ndarray)
+        and values.dtype == np.int64
+        and not _compiled.recording(values)
+    ):
+        return fn(values)
     order = np.argsort(values, kind="stable")
     ranked = values[order]
     lead = np.empty(n, dtype=bool)
@@ -195,13 +208,30 @@ def multi_source_bfs(graph, sources, side: str = "col") -> BFSResult:
     """
     if side not in ("col", "row"):
         raise ValueError(f"side must be 'col' or 'row', not {side!r}")
+    bound = graph.n_cols if side == "col" else graph.n_rows
+    frontier = _check_sources(sources, bound, side)
+    fn = _compiled.implementation_for("multi_source_bfs")
+    if fn is not None and not _compiled.recording(
+        graph.col_ptr, graph.col_ind, graph.row_ptr, graph.row_ind, frontier
+    ):
+        # The twin dedups the sources internally (level-0 check) and uses
+        # the same first-encounter parent rule as the vectorized path.
+        if side == "col":
+            col_level, row_level, col_parent, row_parent, edges = fn(
+                graph.col_ptr, graph.col_ind, graph.row_ptr, graph.row_ind,
+                frontier, graph.n_cols, graph.n_rows,
+            )
+        else:
+            row_level, col_level, row_parent, col_parent, edges = fn(
+                graph.row_ptr, graph.row_ind, graph.col_ptr, graph.col_ind,
+                frontier, graph.n_rows, graph.n_cols,
+            )
+        return BFSResult(row_level, col_level, row_parent, col_parent, int(edges))
     row_level, col_level, row_parent, col_parent = _bfs_state(graph)
     structures = {
         "col": (graph.col_ptr, graph.col_ind, col_level, row_level, row_parent),
         "row": (graph.row_ptr, graph.row_ind, row_level, col_level, col_parent),
     }
-    bound = graph.n_cols if side == "col" else graph.n_rows
-    frontier = _check_sources(sources, bound, side)
     # Dedupe the sources in scan order — the deque reference enqueues only
     # the first occurrence (its level check guards re-enqueueing), so a
     # duplicated source must not be expanded twice here either.
@@ -289,6 +319,12 @@ def alternating_level_bfs(
     column levels (``numpy.iinfo(int64).max`` when no augmenting path
     exists) — exactly the values the historical per-edge loop produced.
     """
+    fn = _compiled.implementation_for("alternating_level_bfs")
+    if fn is not None and not _compiled.recording(col_ptr, col_ind, row_match, col_match):
+        # The twin is scalar end to end, so the ``scalars`` views (the
+        # narrow-frontier fallback of the NumPy path) are not needed.
+        level, shortest, edges = fn(col_ptr, col_ind, row_match, col_match)
+        return level, int(shortest), int(edges)
     n_cols = len(col_ptr) - 1
     level = np.full(n_cols, _INF, dtype=np.int64)
     frontier = np.flatnonzero(col_match == _UNMATCHED)
@@ -301,7 +337,7 @@ def alternating_level_bfs(
             lptr, lind, lmatch = scalars
             hit = False
             nxt: list[int] = []
-            # hot-path
+            # hot-path compiled=alternating_level_bfs
             for v in frontier.tolist():
                 begin, stop = lptr[v], lptr[v + 1]
                 edges += stop - begin
@@ -352,6 +388,12 @@ def distance_label_bfs(
     Returns ``(max_level, edges_scanned)`` — the paper's ``maxLevel`` and
     the adjacency entries a deque BFS would have scanned.
     """
+    fn = _compiled.implementation_for("distance_label_bfs")
+    if fn is not None and not _compiled.recording(
+        row_ptr, row_ind, row_match, col_match, psi_row, psi_col
+    ):
+        max_level, edges = fn(row_ptr, row_ind, row_match, col_match, psi_row, psi_col, infinity)
+        return int(max_level), int(edges)
     psi_row.fill(infinity)
     psi_col.fill(infinity)
     frontier = np.flatnonzero(row_match == _UNMATCHED)
